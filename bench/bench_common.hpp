@@ -1,0 +1,81 @@
+#pragma once
+
+// Shared plumbing for the figure/table reproduction benches: option
+// parsing (--device, --full, --out-dir), consistent headers, and CSV
+// persistence of each bench's result database.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "harness/params.hpp"
+#include "harness/record.hpp"
+#include "sim/device.hpp"
+
+namespace hpac::bench {
+
+struct Options {
+  std::vector<sim::DeviceConfig> devices;  ///< platforms to evaluate
+  harness::SweepDensity density = harness::SweepDensity::kQuick;
+  bool curated_only = true;  ///< default fixed-budget sweep; --full widens
+  std::string out_dir = "bench_results";
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opts;
+  bool nvidia = true;
+  bool amd = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      opts.density = harness::SweepDensity::kFull;
+      opts.curated_only = false;
+    } else if (arg == "--quick") {
+      opts.density = harness::SweepDensity::kQuick;
+      opts.curated_only = false;
+    } else if (arg == "--device=v100" || arg == "--device=nvidia") {
+      amd = false;
+    } else if (arg == "--device=mi250x" || arg == "--device=amd") {
+      nvidia = false;
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      opts.out_dir = arg.substr(10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--full|--quick] [--device=v100|mi250x] [--out-dir=DIR]\n"
+                   "  default: curated fixed-budget sweep on both platforms\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  if (nvidia) opts.devices.push_back(sim::v100());
+  if (amd) opts.devices.push_back(sim::mi250x());
+  return opts;
+}
+
+inline void print_banner(const std::string& experiment, const std::string& paper_claim) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  if (!paper_claim.empty()) std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("\n");
+}
+
+inline void save_db(const harness::ResultDb& db, const Options& opts,
+                    const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories(opts.out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create %s: %s\n", opts.out_dir.c_str(),
+                 ec.message().c_str());
+    return;
+  }
+  const std::string path = opts.out_dir + "/" + name + ".csv";
+  db.save(path);
+  std::printf("[saved %zu records to %s]\n\n", db.size(), path.c_str());
+}
+
+inline std::string fmt(double v, const char* format = "%.3g") {
+  return strings::format(format, v);
+}
+
+}  // namespace hpac::bench

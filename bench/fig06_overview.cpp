@@ -1,0 +1,117 @@
+// Figure 6 (and Table 1): for every benchmark and both platforms, the
+// highest speedup whose quality loss stays below 10%, per approximation
+// technique, plus the error distribution of qualifying configurations.
+//
+// Paper claims reproduced here:
+//  * TAF is typically the best technique under the error bound; iACT the
+//    worst (insights 4 and 6).
+//  * MiniFE is excluded: its error is always > 10% (Figure 6 caption).
+//  * Headline: up to 6.9x speedup (Binomial Options, TAF), geomean 1.42x.
+//
+// Default: curated fixed-budget sweep (~minutes); --quick/--full run the
+// strided/complete Table 2 grids.
+
+#include <cstdio>
+#include <map>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness/analysis.hpp"
+#include "harness/explorer.hpp"
+
+using namespace hpac;
+using namespace hpac::harness;
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::parse_options(argc, argv);
+  bench::print_banner("Figure 6 — highest speedup with error < 10%",
+                      "TAF typically best, iACT worst; MiniFE always exceeds 10% error; "
+                      "up to 6.9x (BO TAF), geomean 1.42x");
+
+  const std::vector<pragma::HierarchyLevel> levels = table2::hierarchies();
+  const double kMaxError = 10.0;
+
+  std::vector<double> best_speedups;  // for the geomean headline
+  for (const auto& device : opts.devices) {
+    std::printf("--- platform: %s (%d SMs, warp %d) ---\n", device.name.c_str(),
+                device.num_sms, device.warp_size);
+    TextTable table({"benchmark", "technique", "best speedup", "error %", "ipt", "spec"});
+    ResultDb all;
+
+    for (const std::string& name : apps::benchmark_names()) {
+      auto app = apps::make_benchmark(name);
+      Explorer explorer(*app, device);
+
+      std::vector<pragma::ApproxSpec> taf, iact, perfo;
+      if (opts.curated_only) {
+        taf = curated_taf_specs(levels);
+        iact = curated_iact_specs(device.warp_size, levels);
+        perfo = curated_perfo_specs();
+      } else {
+        taf = taf_specs(opts.density);
+        iact = iact_specs(opts.density, device.warp_size);
+        perfo = perfo_specs(opts.density);
+      }
+      const std::vector<std::uint64_t> memo_ipt =
+          opts.curated_only ? app->memo_items_axis() : items_per_thread_axis(opts.density);
+      const std::vector<std::uint64_t> perfo_ipt{1, 8};
+
+      explorer.sweep(taf, memo_ipt);
+      explorer.sweep(iact, memo_ipt);
+      explorer.sweep(perfo, perfo_ipt);
+
+      for (const auto& technique :
+           {pragma::Technique::kPerforation, pragma::Technique::kTafMemo,
+            pragma::Technique::kIactMemo}) {
+        auto records = explorer.db().where(
+            [&](const RunRecord& r) { return r.technique == technique; });
+        auto best = best_under_error(records, kMaxError);
+        if (best) {
+          table.add_row({name, pragma::technique_name(technique),
+                         strings::format("%.2fx", best->speedup),
+                         strings::format("%.3f", best->error_percent),
+                         std::to_string(best->items_per_thread), best->spec_text});
+          if (best->speedup > 0) best_speedups.push_back(best->speedup);
+        } else {
+          const bool any_feasible =
+              !explorer.db()
+                   .where([&](const RunRecord& r) {
+                     return r.technique == technique && r.feasible;
+                   })
+                   .empty();
+          table.add_row({name, pragma::technique_name(technique), "-", "-", "-",
+                         any_feasible ? "excluded: error always >= 10%"
+                                      : "not applicable"});
+        }
+      }
+      for (auto& r : explorer.db().records()) all.add(r);
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Error distribution of qualifying configs (Figure 6, top panels).
+    TextTable dist({"benchmark", "configs < 10%", "err min", "err median", "err max"});
+    for (const std::string& name : apps::benchmark_names()) {
+      auto errors = errors_under(
+          all.where([&](const RunRecord& r) { return r.benchmark == name; }), kMaxError);
+      if (errors.empty()) {
+        dist.add_row({name, "0", "-", "-", "-"});
+        continue;
+      }
+      dist.add_row({name, std::to_string(errors.size()),
+                    bench::fmt(stats::percentile(errors, 0)),
+                    bench::fmt(stats::percentile(errors, 50)),
+                    bench::fmt(stats::percentile(errors, 100))});
+    }
+    std::printf("%s\n", dist.render().c_str());
+    bench::save_db(all, opts, "fig06_" + device.name);
+  }
+
+  if (!best_speedups.empty()) {
+    std::printf("geomean of best per-benchmark-technique speedups (<10%% error): %.2fx "
+                "(paper: 1.42x geomean, 6.9x max)\n\n",
+                stats::geomean(best_speedups));
+  }
+  return 0;
+}

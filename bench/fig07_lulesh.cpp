@@ -1,0 +1,88 @@
+// Figure 7 (a-f): LULESH under perforation, TAF and iACT on both
+// platforms: speedup vs MAPE clouds.
+//
+// Paper claims reproduced here:
+//  * perforation up to 1.64x (NVIDIA) / 1.67x (AMD) with < 7% MAPE;
+//  * fini perforation induces less error than ini (the first — origin —
+//    elements carry the blast and matter more);
+//  * TAF up to 1.30x/1.45x with ~0.67% MAPE; iACT lower error but only
+//    1.07x/1.15x.
+
+#include <cstdio>
+
+#include "apps/lulesh.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "harness/analysis.hpp"
+#include "harness/explorer.hpp"
+
+using namespace hpac;
+using namespace hpac::harness;
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::parse_options(argc, argv);
+  bench::print_banner("Figure 7 — LULESH: perforation / TAF / iACT",
+                      "perfo 1.64x@<7% (NV), 1.67x (AMD); fini < ini error; "
+                      "TAF 1.30x/1.45x @ 0.67%; iACT 1.07x/1.15x @ 0.3%");
+
+  for (const auto& device : opts.devices) {
+    std::printf("--- platform: %s ---\n", device.name.c_str());
+    apps::Lulesh app;
+    Explorer explorer(app, device);
+
+    // Perforation cloud (panels a/d): every perfo type x items per thread.
+    std::vector<pragma::ApproxSpec> perfo =
+        opts.curated_only ? curated_perfo_specs() : perfo_specs(opts.density);
+    explorer.sweep(perfo, {1, 8, 64, 512});
+
+    // TAF cloud (panels b/e) and iACT cloud (panels c/f).
+    const auto levels = table2::hierarchies();
+    std::vector<pragma::ApproxSpec> taf =
+        opts.curated_only ? curated_taf_specs(levels) : taf_specs(opts.density);
+    std::vector<pragma::ApproxSpec> iact = opts.curated_only
+                                               ? curated_iact_specs(device.warp_size, levels)
+                                               : iact_specs(opts.density, device.warp_size);
+    explorer.sweep(taf, {4, 8, 32, 128, 512});
+    explorer.sweep(iact, {8, 64});
+
+    // Panel summaries: best per technique and the ini-vs-fini contrast.
+    for (auto technique : {pragma::Technique::kPerforation, pragma::Technique::kTafMemo,
+                           pragma::Technique::kIactMemo}) {
+      auto records = explorer.db().where(
+          [&](const RunRecord& r) { return r.technique == technique; });
+      auto best10 = best_under_error(records, 10.0);
+      if (best10) {
+        std::printf("  %-6s best <10%% error: %5.2fx @ %7.4f%%  (%s, ipt=%llu)\n",
+                    pragma::technique_name(technique).c_str(), best10->speedup,
+                    best10->error_percent, best10->spec_text.c_str(),
+                    static_cast<unsigned long long>(best10->items_per_thread));
+      } else {
+        std::printf("  %-6s no configuration under 10%% error\n",
+                    pragma::technique_name(technique).c_str());
+      }
+    }
+
+    // ini vs fini: mean error at matched skip fractions.
+    for (const char* kind : {"ini", "fini"}) {
+      auto records = explorer.db().where([&](const RunRecord& r) {
+        return r.perfo_kind == kind && r.feasible && r.items_per_thread == 1;
+      });
+      double err_sum = 0;
+      for (const auto& r : records) err_sum += r.error_percent;
+      std::printf("  perfo %-4s mean MAPE over %zu configs: %.3f%%\n", kind, records.size(),
+                  records.empty() ? 0.0 : err_sum / static_cast<double>(records.size()));
+    }
+
+    // The scatter itself, decimated like the paper's plots.
+    TextTable cloud({"technique", "spec", "ipt", "speedup", "MAPE %"});
+    for (const auto& r : decimate_for_plot(explorer.db().records(), 10, 0.10)) {
+      cloud.add_row({pragma::technique_name(r.technique), r.spec_text,
+                     std::to_string(r.items_per_thread), strings::format("%.3f", r.speedup),
+                     strings::format("%.4f", r.error_percent)});
+    }
+    std::printf("\ndecimated speedup/MAPE cloud (fastest+slowest 10%% per error bin):\n%s\n",
+                cloud.render().c_str());
+    bench::save_db(explorer.db(), opts, "fig07_lulesh_" + device.name);
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 9: (a)/(b) Leukocyte under TAF and iACT; (c) MiniFE under TAF.
+//
+// Paper claims reproduced here:
+//  * Leukocyte TAF reaches ~1.99x with ~1.12% error;
+//  * Leukocyte iACT reduces error but *always slows the application down*
+//    (cache lookups + euclidean distances outweigh the IMGVF update);
+//  * MiniFE TAF errors explode (593% .. 3.4e22%) because locally
+//    introduced SpMV errors propagate through CG iterations;
+//  * iACT is not applicable to MiniFE (non-uniform CSR row inputs).
+
+#include <cstdio>
+
+#include "apps/leukocyte.hpp"
+#include "apps/minife.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "harness/analysis.hpp"
+#include "harness/explorer.hpp"
+#include "pragma/parser.hpp"
+
+using namespace hpac;
+using namespace hpac::harness;
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::parse_options(argc, argv);
+  bench::print_banner("Figure 9 — Leukocyte (TAF, iACT) and MiniFE (TAF)",
+                      "Leukocyte TAF 1.99x @ 1.12%; iACT always a slowdown; MiniFE error "
+                      "593%..3.4e22%; iACT inapplicable to MiniFE");
+
+  const auto levels = table2::hierarchies();
+  for (const auto& device : opts.devices) {
+    std::printf("--- platform: %s ---\n", device.name.c_str());
+
+    // --- Leukocyte -------------------------------------------------------
+    {
+      apps::Leukocyte app;
+      Explorer explorer(app, device);
+      auto taf = opts.curated_only ? curated_taf_specs(levels) : taf_specs(opts.density);
+      auto iact = opts.curated_only ? curated_iact_specs(device.warp_size, levels)
+                                    : iact_specs(opts.density, device.warp_size);
+      explorer.sweep(taf, {8, 64, 256});
+      explorer.sweep(iact, {8, 64});
+
+      auto taf_records = explorer.db().where(
+          [](const RunRecord& r) { return r.technique == pragma::Technique::kTafMemo; });
+      auto best = best_under_error(taf_records, 10.0);
+      if (best) {
+        std::printf("  leukocyte TAF best <10%%: %.2fx @ %.3f%% (%s)\n", best->speedup,
+                    best->error_percent, best->spec_text.c_str());
+      }
+      auto iact_records = explorer.db().where([](const RunRecord& r) {
+        return r.technique == pragma::Technique::kIactMemo && r.feasible;
+      });
+      double max_speedup = 0;
+      double min_err = 1e300;
+      for (const auto& r : iact_records) {
+        max_speedup = std::max(max_speedup, r.speedup);
+        min_err = std::min(min_err, r.error_percent);
+      }
+      std::printf("  leukocyte iACT: max speedup %.2fx over %zu configs "
+                  "(paper: always < 1x), min error %.3g%%\n",
+                  max_speedup, iact_records.size(), min_err);
+      bench::save_db(explorer.db(), opts, "fig09ab_leukocyte_" + device.name);
+    }
+
+    // --- MiniFE ----------------------------------------------------------
+    {
+      apps::MiniFe app;
+      Explorer explorer(app, device);
+      auto taf = opts.curated_only ? curated_taf_specs(levels) : taf_specs(opts.density);
+      explorer.sweep(taf, {8, 64});
+
+      double min_err = 1e300, max_err = 0;
+      std::size_t approximating = 0;
+      for (const auto& r : explorer.db().records()) {
+        if (!r.feasible || r.approx_ratio <= 0.0) continue;
+        ++approximating;
+        min_err = std::min(min_err, r.error_percent);
+        max_err = std::max(max_err, r.error_percent);
+      }
+      std::printf("  minife TAF error range over %zu approximating configs: "
+                  "%.3g%% .. %.3g%% (paper: 593%% .. 3.4e22%%)\n",
+                  approximating, approximating ? min_err : 0.0, max_err);
+
+      // iACT is rejected: the SpMV region has no uniform input width.
+      RunRecord rejected = explorer.run_config(
+          pragma::parse_approx("memo(in:4:0.5:2) in(row[i]) out(y[i])"), 8);
+      std::printf("  minife iACT: %s (%s)\n",
+                  rejected.feasible ? "UNEXPECTEDLY RAN" : "not applicable",
+                  rejected.note.c_str());
+      bench::save_db(explorer.db(), opts, "fig09c_minife_" + device.name);
+    }
+  }
+  return 0;
+}

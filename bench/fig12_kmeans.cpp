@@ -1,0 +1,89 @@
+// Figure 12: K-Means. Panels (a)/(b): TAF and iACT speedup vs
+// misclassification rate (MCR). Panel (c): time speedup vs convergence
+// speedup — in K-Means the speedup comes primarily from converging in
+// fewer iterations because memoized assignments herd observations into
+// their previous clusters (paper: R^2 = 0.95).
+
+#include <cstdio>
+
+#include "apps/kmeans.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "harness/analysis.hpp"
+#include "harness/explorer.hpp"
+
+using namespace hpac;
+using namespace hpac::harness;
+
+int main(int argc, char** argv) {
+  bench::Options opts = bench::parse_options(argc, argv);
+  bench::print_banner("Figure 12 — K-Means: TAF, iACT, convergence correlation",
+                      "speedups up to ~4x from early convergence; time speedup vs "
+                      "convergence speedup linear with R^2 = 0.95");
+
+  for (const auto& device : opts.devices) {
+    std::printf("--- platform: %s ---\n", device.name.c_str());
+    apps::KMeans app;
+    Explorer explorer(app, device);
+
+    // TAF grid with the paper's K-Means history sizes (Figure 12a legend:
+    // 2..16) and thresholds.
+    std::vector<pragma::ApproxSpec> taf;
+    for (int h : {2, 3, 5, 8, 16}) {
+      for (double thr : {0.3, 0.9, 1.5, 5.0}) {
+        pragma::ApproxSpec spec;
+        spec.technique = pragma::Technique::kTafMemo;
+        spec.taf = pragma::TafParams{h, 64, thr};
+        spec.level = pragma::HierarchyLevel::kWarp;
+        spec.out_sections.push_back("membership[i]");
+        taf.push_back(spec);
+      }
+    }
+    explorer.sweep(taf, {8, 32, 128, 256});
+
+    std::vector<pragma::ApproxSpec> iact;
+    for (int tsize : {1, 2, 4, 8}) {
+      for (double thr : {0.1, 0.3, 0.5, 0.9}) {
+        pragma::ApproxSpec spec;
+        spec.technique = pragma::Technique::kIactMemo;
+        spec.iact = pragma::IactParams{tsize, thr, 2};
+        spec.in_sections.push_back("obs[i]");
+        spec.out_sections.push_back("membership[i]");
+        iact.push_back(spec);
+      }
+    }
+    explorer.sweep(iact, {8, 64});
+
+    for (auto technique : {pragma::Technique::kTafMemo, pragma::Technique::kIactMemo}) {
+      auto records = explorer.db().where(
+          [&](const RunRecord& r) { return r.technique == technique; });
+      auto best = best_under_error(records, 10.0);
+      double max_any = 0;
+      for (const auto& r : records) {
+        if (r.feasible) max_any = std::max(max_any, r.speedup);
+      }
+      std::printf("  %-4s max speedup %5.2fx; best <10%% MCR: %s\n",
+                  pragma::technique_name(technique).c_str(), max_any,
+                  best ? strings::format("%.2fx @ %.2f%% (%s)", best->speedup,
+                                         best->error_percent, best->spec_text.c_str())
+                             .c_str()
+                       : "none");
+    }
+
+    // Panel (c): convergence-speedup regression.
+    auto corr = convergence_correlation(explorer.db().where(
+        [](const RunRecord& r) { return r.technique == pragma::Technique::kTafMemo; }));
+    std::printf("  panel (c): time vs convergence speedup over %zu runs: "
+                "slope %.3f, R^2 = %.3f (paper: 0.95)\n",
+                corr.time_speedup.size(), corr.regression.slope, corr.regression.r2);
+
+    TextTable sample({"conv speedup", "time speedup"});
+    for (std::size_t i = 0; i < corr.time_speedup.size(); i += 8) {
+      sample.add_row({strings::format("%.3f", corr.convergence_speedup[i]),
+                      strings::format("%.3f", corr.time_speedup[i])});
+    }
+    std::printf("\nsampled (c) series:\n%s\n", sample.render().c_str());
+    bench::save_db(explorer.db(), opts, "fig12_kmeans_" + device.name);
+  }
+  return 0;
+}

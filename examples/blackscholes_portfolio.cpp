@@ -1,0 +1,62 @@
+// Domain example: approximate option pricing for a Blackscholes
+// portfolio, the paper's Figure 10 scenario.
+//
+// Shows the workflow a quant-library user would follow:
+//   1. price the portfolio accurately (the reference),
+//   2. sweep TAF prediction sizes and RSD thresholds at kernel scope
+//      (transfers dominate this benchmark, so kernel time is what the
+//      approximation can buy back),
+//   3. inspect how the threshold shifts the *distribution* of prices,
+//      not just the mean error — the paper's panel (c) lesson.
+//
+// Run: ./build/examples/blackscholes_portfolio
+
+#include <cstdio>
+
+#include "apps/blackscholes.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "harness/explorer.hpp"
+#include "pragma/parser.hpp"
+#include "sim/device.hpp"
+
+using namespace hpac;
+
+int main() {
+  apps::Blackscholes portfolio;
+  harness::Explorer explorer(portfolio, sim::mi250x());
+
+  std::printf("portfolio: %llu options (kernel-only timing, as in the paper)\n\n",
+              static_cast<unsigned long long>(portfolio.params().num_options));
+
+  TextTable sweep({"config", "speedup", "MAPE %", "% approximated"});
+  for (int psize : {8, 64, 512}) {
+    for (double threshold : {0.3, 1.5, 5.0}) {
+      const std::string clause = strings::format(
+          "memo(out:5:%d:%g) level(warp) out(price[i])", psize, threshold);
+      const auto record = explorer.run_config(pragma::parse_approx(clause), 64);
+      sweep.add_row({clause, strings::format("%.2fx", record.speedup),
+                     strings::format("%.4f", record.error_percent),
+                     strings::format("%.0f", 100 * record.approx_ratio)});
+    }
+  }
+  std::printf("%s\n", sweep.render().c_str());
+
+  // Distribution check: a low MAPE can still hide a shifted price
+  // distribution; compare quantiles like Figure 10c.
+  const auto& exact = explorer.baseline();
+  apps::Blackscholes fresh;
+  const auto approx = fresh.run(
+      pragma::parse_approx("memo(out:5:512:5) level(warp) out(price[i])"), 64,
+      sim::mi250x());
+  TextTable dist({"series", "p5", "median", "p95"});
+  dist.add_row({"exact", strings::format("%.3f", stats::percentile(exact.qoi, 5)),
+                strings::format("%.3f", stats::percentile(exact.qoi, 50)),
+                strings::format("%.3f", stats::percentile(exact.qoi, 95))});
+  dist.add_row({"TAF(5:512:5)", strings::format("%.3f", stats::percentile(approx.qoi, 5)),
+                strings::format("%.3f", stats::percentile(approx.qoi, 50)),
+                strings::format("%.3f", stats::percentile(approx.qoi, 95))});
+  std::printf("%s\n", dist.render().c_str());
+  return 0;
+}

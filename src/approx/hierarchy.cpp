@@ -1,0 +1,23 @@
+#include "approx/hierarchy.hpp"
+
+namespace hpac::approx {
+
+bool warp_majority(sim::LaneMask wishes, sim::LaneMask active) {
+  const int want = sim::popcount(wishes & active);
+  const int total = sim::popcount(active);
+  return want * 2 > total;
+}
+
+void BlockTally::add(sim::LaneMask wishes, sim::LaneMask active) {
+  wish_ += sim::popcount(wishes & active);
+  active_ += sim::popcount(active);
+}
+
+bool BlockTally::majority() const { return wish_ * 2 > active_; }
+
+void BlockTally::reset() {
+  wish_ = 0;
+  active_ = 0;
+}
+
+}  // namespace hpac::approx

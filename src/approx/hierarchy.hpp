@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/warp.hpp"
+
+namespace hpac::approx {
+
+/// Warp-level majority rule (paper §3.3): the warp approximates iff a
+/// strict majority of its *active* lanes meet the activation criteria
+/// (`popcount(ballot(wish)) * 2 > popcount(active)`).
+bool warp_majority(sim::LaneMask wishes, sim::LaneMask active);
+
+/// Block-level tally. On hardware each warp's leader atomically adds its
+/// ballot popcount to a shared-memory counter and every thread reads the
+/// total after a barrier (paper §3.3). The executor mirrors those two
+/// phases: `add` per warp, then `majority` once all warps contributed.
+class BlockTally {
+ public:
+  void add(sim::LaneMask wishes, sim::LaneMask active);
+  bool majority() const;
+  int wish_count() const { return wish_; }
+  int active_count() const { return active_; }
+  void reset();
+
+ private:
+  int wish_ = 0;
+  int active_ = 0;
+};
+
+}  // namespace hpac::approx

@@ -1,0 +1,120 @@
+#include "approx/iact.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hpac::approx {
+
+double euclidean_distance(std::span<const double> a, std::span<const double> b) {
+  HPAC_REQUIRE(a.size() == b.size(), "distance between vectors of different size");
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+IactTable::IactTable(int table_size, int in_dims, int out_dims, Replacement policy,
+                     std::span<double> storage)
+    : table_size_(table_size),
+      in_dims_(in_dims),
+      out_dims_(out_dims),
+      policy_(policy),
+      storage_(storage),
+      valid_(static_cast<std::size_t>(table_size), false),
+      referenced_(static_cast<std::size_t>(table_size), false) {
+  HPAC_REQUIRE(table_size >= 1, "iACT table size must be >= 1");
+  HPAC_REQUIRE(in_dims >= 1, "iACT requires at least one input dimension");
+  HPAC_REQUIRE(out_dims >= 1, "iACT requires at least one output dimension");
+  HPAC_REQUIRE(storage.size() >= storage_doubles(table_size, in_dims, out_dims),
+               "iACT storage span too small");
+}
+
+std::size_t IactTable::storage_doubles(int table_size, int in_dims, int out_dims) {
+  return static_cast<std::size_t>(table_size) *
+         (static_cast<std::size_t>(in_dims) + static_cast<std::size_t>(out_dims));
+}
+
+std::size_t IactTable::footprint_bytes(int table_size, int in_dims, int out_dims) {
+  // Entries + one validity byte and one reference byte per row + cursor.
+  return storage_doubles(table_size, in_dims, out_dims) * sizeof(double) +
+         static_cast<std::size_t>(table_size) * 2 + sizeof(std::int32_t);
+}
+
+IactTable::Match IactTable::find_nearest(std::span<const double> in) const {
+  HPAC_REQUIRE(in.size() == static_cast<std::size_t>(in_dims_), "probe dimensionality mismatch");
+  Match best;
+  for (int i = 0; i < table_size_; ++i) {
+    if (!valid_[static_cast<std::size_t>(i)]) continue;
+    const double d = euclidean_distance(in, input_at(i));
+    if (d < best.distance) {
+      best.distance = d;
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+void IactTable::mark_used(int index) {
+  if (policy_ != Replacement::kClock) return;
+  HPAC_REQUIRE(index >= 0 && index < table_size_, "mark_used index out of range");
+  referenced_[static_cast<std::size_t>(index)] = true;
+}
+
+int IactTable::victim_index() {
+  if (valid_count_ < table_size_) {
+    // Fill empty slots first under either policy.
+    for (int i = 0; i < table_size_; ++i) {
+      if (!valid_[static_cast<std::size_t>(i)]) return i;
+    }
+  }
+  if (policy_ == Replacement::kRoundRobin) {
+    const int victim = cursor_;
+    cursor_ = (cursor_ + 1) % table_size_;
+    return victim;
+  }
+  // CLOCK: advance the hand, clearing reference bits, until an
+  // unreferenced entry is found.
+  for (;;) {
+    const int i = cursor_;
+    cursor_ = (cursor_ + 1) % table_size_;
+    if (!referenced_[static_cast<std::size_t>(i)]) return i;
+    referenced_[static_cast<std::size_t>(i)] = false;
+  }
+}
+
+void IactTable::insert(std::span<const double> in, std::span<const double> out) {
+  HPAC_REQUIRE(in.size() == static_cast<std::size_t>(in_dims_), "insert input size mismatch");
+  HPAC_REQUIRE(out.size() == static_cast<std::size_t>(out_dims_), "insert output size mismatch");
+  const int slot = victim_index();
+  const std::size_t row = static_cast<std::size_t>(slot) *
+                          (static_cast<std::size_t>(in_dims_) + out_dims_);
+  for (int d = 0; d < in_dims_; ++d) storage_[row + static_cast<std::size_t>(d)] = in[d];
+  for (int d = 0; d < out_dims_; ++d) {
+    storage_[row + static_cast<std::size_t>(in_dims_) + static_cast<std::size_t>(d)] = out[d];
+  }
+  if (!valid_[static_cast<std::size_t>(slot)]) {
+    valid_[static_cast<std::size_t>(slot)] = true;
+    ++valid_count_;
+  }
+  referenced_[static_cast<std::size_t>(slot)] = false;
+}
+
+std::span<const double> IactTable::input_at(int index) const {
+  HPAC_REQUIRE(index >= 0 && index < table_size_, "input_at index out of range");
+  const std::size_t row = static_cast<std::size_t>(index) *
+                          (static_cast<std::size_t>(in_dims_) + out_dims_);
+  return storage_.subspan(row, static_cast<std::size_t>(in_dims_));
+}
+
+std::span<const double> IactTable::output_at(int index) const {
+  HPAC_REQUIRE(index >= 0 && index < table_size_, "output_at index out of range");
+  const std::size_t row = static_cast<std::size_t>(index) *
+                          (static_cast<std::size_t>(in_dims_) + out_dims_);
+  return storage_.subspan(row + static_cast<std::size_t>(in_dims_),
+                          static_cast<std::size_t>(out_dims_));
+}
+
+}  // namespace hpac::approx

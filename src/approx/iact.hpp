@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace hpac::approx {
+
+/// Cache replacement policy for iACT tables. The paper uses round-robin
+/// and notes (footnote 3) that CLOCK made no difference; we implement both
+/// so the ablation bench can reproduce that claim.
+enum class Replacement { kRoundRobin, kClock };
+
+/// An iACT (approximate input memoization) table (paper §2.3 and §3.1.4).
+///
+/// Each entry stores an input vector and the output vector the accurate
+/// path produced for it. Lookup returns the entry with the smallest
+/// Euclidean distance to the probe; the caller compares the distance to
+/// the user threshold to decide whether to reuse the cached output.
+///
+/// On the GPU a table is *shared* by `warp_size / tables_per_warp` lanes.
+/// Access is split into a reading phase (all lanes search concurrently)
+/// and a writing phase where a single writer per table inserts — the lane
+/// whose input was farthest from every cached value (the most
+/// cache-improving candidate). `RegionExecutor` orchestrates the phases;
+/// this class provides the storage and the per-operation semantics.
+///
+/// Storage lives in block shared memory via `SharedMemoryArena`.
+class IactTable {
+ public:
+  IactTable(int table_size, int in_dims, int out_dims, Replacement policy,
+            std::span<double> storage);
+
+  /// Doubles of shared memory a table occupies.
+  static std::size_t storage_doubles(int table_size, int in_dims, int out_dims);
+  /// Bytes including validity/age bookkeeping.
+  static std::size_t footprint_bytes(int table_size, int in_dims, int out_dims);
+
+  struct Match {
+    int index = -1;
+    double distance = std::numeric_limits<double>::infinity();
+    bool valid() const { return index >= 0; }
+  };
+
+  /// Reading phase: nearest entry by Euclidean distance (no state change).
+  Match find_nearest(std::span<const double> in) const;
+
+  /// Record a cache hit for CLOCK's reference bit. No-op for round-robin.
+  void mark_used(int index);
+
+  /// Writing phase: insert (in, out), evicting per the policy when full.
+  void insert(std::span<const double> in, std::span<const double> out);
+
+  std::span<const double> input_at(int index) const;
+  std::span<const double> output_at(int index) const;
+
+  int capacity() const { return table_size_; }
+  int valid_count() const { return valid_count_; }
+  int in_dims() const { return in_dims_; }
+  int out_dims() const { return out_dims_; }
+
+ private:
+  int victim_index();
+
+  int table_size_;
+  int in_dims_;
+  int out_dims_;
+  Replacement policy_;
+  std::span<double> storage_;  ///< table_size rows of (in_dims + out_dims)
+  std::vector<bool> valid_;
+  std::vector<bool> referenced_;  ///< CLOCK reference bits
+  int cursor_ = 0;                ///< round-robin insert / CLOCK hand
+  int valid_count_ = 0;
+};
+
+/// Euclidean (L2) distance between two equally sized vectors; the match
+/// metric of iACT's activation function.
+double euclidean_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace hpac::approx

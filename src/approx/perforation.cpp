@@ -1,0 +1,57 @@
+#include "approx/perforation.hpp"
+
+#include "common/error.hpp"
+
+namespace hpac::approx {
+
+namespace {
+bool skip_by_index(const pragma::PerfoParams& params, std::uint64_t index, std::uint64_t total) {
+  using pragma::PerfoKind;
+  switch (params.kind) {
+    case PerfoKind::kSmall:
+      // Skip the last of every M indices: a loop shorter than M runs
+      // unperforated, so degenerate launches (one grid-stride step) are
+      // not wiped out.
+      return index % static_cast<std::uint64_t>(params.stride) ==
+             static_cast<std::uint64_t>(params.stride) - 1;
+    case PerfoKind::kLarge:
+      // Execute the first of every M indices, skip the rest.
+      return index % static_cast<std::uint64_t>(params.stride) != 0;
+    case PerfoKind::kIni:
+      return index < static_cast<std::uint64_t>(params.fraction * static_cast<double>(total));
+    case PerfoKind::kFini: {
+      const auto dropped =
+          static_cast<std::uint64_t>(params.fraction * static_cast<double>(total));
+      return index >= total - dropped;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+bool perfo_skip_item(const pragma::PerfoParams& params, std::uint64_t item, std::uint64_t n) {
+  HPAC_REQUIRE(item < n, "perforation item index out of range");
+  return skip_by_index(params, item, n);
+}
+
+bool perfo_skip_step(const pragma::PerfoParams& params, std::uint64_t step,
+                     std::uint64_t total_steps) {
+  HPAC_REQUIRE(step < total_steps, "perforation step index out of range");
+  return skip_by_index(params, step, total_steps);
+}
+
+double perfo_expected_skip_fraction(const pragma::PerfoParams& params) {
+  using pragma::PerfoKind;
+  switch (params.kind) {
+    case PerfoKind::kSmall:
+      return 1.0 / static_cast<double>(params.stride);
+    case PerfoKind::kLarge:
+      return 1.0 - 1.0 / static_cast<double>(params.stride);
+    case PerfoKind::kIni:
+    case PerfoKind::kFini:
+      return params.fraction;
+  }
+  return 0.0;
+}
+
+}  // namespace hpac::approx

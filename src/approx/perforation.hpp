@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "pragma/spec.hpp"
+
+namespace hpac::approx {
+
+/// CPU-style perforation predicate: decides from the *original loop
+/// iteration index* whether the iteration is dropped (paper §2.3).
+///
+///  * small:M  — skip one of every M iterations (the last of each group)
+///  * large:M  — execute one of every M iterations (the first of each group)
+///  * ini:f    — skip the first floor(f*n) iterations
+///  * fini:f   — skip the last floor(f*n) iterations
+///
+/// On a GPU, adjacent iterations map to adjacent lanes, so small/large
+/// patterns split the lanes of a warp between the execute and skip paths —
+/// the divergence and memory fragmentation the paper's herded variant
+/// eliminates.
+bool perfo_skip_item(const pragma::PerfoParams& params, std::uint64_t item, std::uint64_t n);
+
+/// Herded perforation predicate (paper §3.1.5): decides from the
+/// *grid-stride step index*, so every thread in the grid drops the same
+/// iterations and warp control flow stays uniform.
+bool perfo_skip_step(const pragma::PerfoParams& params, std::uint64_t step,
+                     std::uint64_t total_steps);
+
+/// The fraction of iterations a perforation configuration drops; used by
+/// tests and by the harness to sanity-check measured skip counts.
+double perfo_expected_skip_fraction(const pragma::PerfoParams& params);
+
+}  // namespace hpac::approx

@@ -1,0 +1,654 @@
+#include "approx/region.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "approx/hierarchy.hpp"
+#include "approx/perforation.hpp"
+#include "approx/taf.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/shared_memory.hpp"
+
+namespace hpac::approx {
+
+namespace {
+
+using pragma::ApproxSpec;
+using pragma::HierarchyLevel;
+using pragma::Technique;
+using sim::LaneMask;
+
+/// Per-warp scratch carried between the decision phase and the execution
+/// phase of one grid-stride step (needed because block-level decisions
+/// depend on every warp's ballot).
+struct WarpScratch {
+  LaneMask active = 0;
+  LaneMask wishes = 0;
+  bool group_decision = false;
+  std::vector<double> in;                     ///< gathered inputs, ws x in_dims
+  std::vector<IactTable::Match> match;        ///< per-lane nearest entry
+};
+
+/// Everything one region execution needs; avoids threading a dozen
+/// parameters through the per-technique drivers.
+class RunContext {
+ public:
+  RunContext(const sim::DeviceConfig& dev, Replacement replacement, const RuntimeCosts& costs,
+             const ApproxSpec& spec, const RegionBinding& binding, std::uint64_t n,
+             const sim::LaunchConfig& launch, std::size_t ac_bytes,
+             const pragma::PerfoParams* composed_perfo = nullptr)
+      : dev_(dev),
+        composed_perfo_(composed_perfo),
+        replacement_(replacement),
+        costs_(costs),
+        spec_(spec),
+        binding_(binding),
+        n_(n),
+        launch_(launch),
+        tracker_(dev, launch, ac_bytes),
+        coalesce_(dev),
+        warp_size_(dev.warp_size),
+        threads_per_team_(launch.threads_per_team),
+        warps_per_team_(launch.warps_per_team(dev)),
+        total_threads_(launch.total_threads()),
+        steps_(launch.steps_for(n)) {
+    stats_.shared_bytes_per_block = ac_bytes;
+    out_buf_.resize(static_cast<std::size_t>(warp_size_) *
+                    static_cast<std::size_t>(binding.out_dims));
+    scratch_.resize(warps_per_team_);
+    for (auto& s : scratch_) {
+      s.in.resize(static_cast<std::size_t>(warp_size_) *
+                  static_cast<std::size_t>(std::max(1, binding.in_dims)));
+      s.match.resize(static_cast<std::size_t>(warp_size_));
+    }
+  }
+
+  RegionReport execute() {
+    switch (spec_.technique) {
+      case Technique::kNone:
+        run_baseline();
+        break;
+      case Technique::kPerforation:
+        run_perforation();
+        break;
+      case Technique::kTafMemo:
+        run_taf();
+        break;
+      case Technique::kIactMemo:
+        run_iact();
+        break;
+    }
+    RegionReport report;
+    report.timing = tracker_.finalize();
+    report.stats = stats_;
+    return report;
+  }
+
+ private:
+  // --- geometry helpers -------------------------------------------------
+
+  /// Item handled by `lane` of warp `w` of `team` at grid-stride `step`.
+  std::uint64_t item_of(std::uint64_t team, std::uint32_t w, int lane,
+                        std::uint64_t step) const {
+    const std::uint64_t tid = team * threads_per_team_ +
+                              static_cast<std::uint64_t>(w) * warp_size_ +
+                              static_cast<std::uint64_t>(lane);
+    return step * total_threads_ + tid;
+  }
+
+  /// Lanes of this warp that are both real threads and map to items < n.
+  LaneMask active_mask(std::uint64_t team, std::uint32_t w, std::uint64_t step) const {
+    LaneMask mask = 0;
+    for (int lane = 0; lane < warp_size_; ++lane) {
+      const std::uint32_t thread_in_team = w * static_cast<std::uint32_t>(warp_size_) +
+                                           static_cast<std::uint32_t>(lane);
+      if (thread_in_team >= threads_per_team_) break;
+      if (item_of(team, w, lane, step) < n_) mask = sim::with_lane(mask, lane);
+    }
+    return mask;
+  }
+
+  std::span<double> lane_out(int lane) {
+    return std::span<double>(out_buf_).subspan(
+        static_cast<std::size_t>(lane) * binding_.out_dims,
+        static_cast<std::size_t>(binding_.out_dims));
+  }
+
+  std::span<double> lane_in(WarpScratch& s, int lane) {
+    return std::span<double>(s.in).subspan(
+        static_cast<std::size_t>(lane) * binding_.in_dims,
+        static_cast<std::size_t>(binding_.in_dims));
+  }
+
+  /// Figure-2 composition: when a perforation directive decorates the
+  /// loop around a memoized region, perforated iterations are removed
+  /// before the memoization logic runs (they are counted as skipped and
+  /// never touch AC state). Returns true when the *whole step* is herded
+  /// away; otherwise trims the warp's active mask in place.
+  bool composed_step_skipped(std::uint64_t team, std::uint64_t step) {
+    if (composed_perfo_ == nullptr) return false;
+    const bool bounds_based = composed_perfo_->kind == pragma::PerfoKind::kIni ||
+                              composed_perfo_->kind == pragma::PerfoKind::kFini;
+    if (bounds_based || !composed_perfo_->herded) return false;
+    if (!perfo_skip_step(*composed_perfo_, step, steps_)) return false;
+    for (std::uint32_t w = 0; w < warps_per_team_; ++w) {
+      const LaneMask active = active_mask(team, w, step);
+      if (active == 0) continue;
+      const auto count = static_cast<std::uint64_t>(sim::popcount(active));
+      stats_.region_invocations += count;
+      stats_.skipped_items += count;
+      tracker_.warp(team, w).charge_compute(costs_.perfo_check);
+    }
+    return true;
+  }
+
+  LaneMask composed_lane_filter(LaneMask active, std::uint64_t first_item,
+                                sim::WarpLedger& ledger) {
+    if (composed_perfo_ == nullptr || active == 0) return active;
+    const bool bounds_based = composed_perfo_->kind == pragma::PerfoKind::kIni ||
+                              composed_perfo_->kind == pragma::PerfoKind::kFini;
+    if (!bounds_based && composed_perfo_->herded) return active;  // step-level, handled above
+    LaneMask exec = active;
+    for (int lane = 0; lane < warp_size_; ++lane) {
+      if (!sim::lane_active(active, lane)) continue;
+      const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
+      if (perfo_skip_item(*composed_perfo_, item, n_)) exec &= ~(1ull << lane);
+    }
+    const auto skipped = static_cast<std::uint64_t>(sim::popcount(active & ~exec));
+    stats_.region_invocations += skipped;
+    stats_.skipped_items += skipped;
+    ledger.charge_compute(costs_.perfo_check);
+    return exec;
+  }
+
+  /// Charge the memory traffic of loading per-item inputs for `mask` lanes
+  /// (one latency round) and optionally storing outputs.
+  void charge_item_memory(sim::WarpLedger& ledger, std::uint64_t first_item, LaneMask load_mask,
+                          LaneMask store_mask) {
+    if (load_mask != 0 && binding_.in_bytes > 0) {
+      const std::uint32_t tx = coalesce_.unit_stride_transactions(first_item, binding_.in_bytes,
+                                                                  load_mask, warp_size_);
+      ledger.charge_memory(tx, 1);
+    }
+    if (store_mask != 0 && binding_.out_bytes > 0) {
+      const std::uint32_t tx = coalesce_.unit_stride_transactions(first_item, binding_.out_bytes,
+                                                                  store_mask, warp_size_);
+      ledger.charge_memory(tx, 0);  // stores are fire-and-forget
+    }
+  }
+
+  // --- baseline ----------------------------------------------------------
+
+  void run_baseline() {
+    for (std::uint64_t team = 0; team < launch_.num_teams; ++team) {
+      for (std::uint64_t step = 0; step < steps_; ++step) {
+        for (std::uint32_t w = 0; w < warps_per_team_; ++w) {
+          const LaneMask active = active_mask(team, w, step);
+          if (active == 0) continue;
+          sim::WarpLedger& ledger = tracker_.warp(team, w);
+          const std::uint64_t first_item = item_of(team, w, 0, step);
+          double cost = 0;
+          for (int lane = 0; lane < warp_size_; ++lane) {
+            if (!sim::lane_active(active, lane)) continue;
+            const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
+            binding_.accurate(item, {}, lane_out(lane));
+            binding_.commit(item, lane_out(lane));
+            cost = std::max(cost, binding_.accurate_cost(item));
+          }
+          const std::array<double, 1> paths{cost};
+          ledger.charge_paths(paths);
+          charge_item_memory(ledger, first_item, active, active);
+          stats_.region_invocations += static_cast<std::uint64_t>(sim::popcount(active));
+          stats_.accurate_items += static_cast<std::uint64_t>(sim::popcount(active));
+        }
+      }
+    }
+  }
+
+  // --- perforation ---------------------------------------------------------
+
+  void run_perforation() {
+    const pragma::PerfoParams& perfo = *spec_.perfo;
+    // ini/fini adjust the *loop bounds* (paper §3.3), so they always act
+    // on item indices regardless of the herded flag; only the modulo
+    // patterns (small/large) distinguish step-herded from per-iteration.
+    const bool bounds_based = perfo.kind == pragma::PerfoKind::kIni ||
+                              perfo.kind == pragma::PerfoKind::kFini;
+    for (std::uint64_t team = 0; team < launch_.num_teams; ++team) {
+      for (std::uint64_t step = 0; step < steps_; ++step) {
+        const bool herded_skip =
+            !bounds_based && perfo.herded && perfo_skip_step(perfo, step, steps_);
+        for (std::uint32_t w = 0; w < warps_per_team_; ++w) {
+          const LaneMask active = active_mask(team, w, step);
+          if (active == 0) continue;
+          sim::WarpLedger& ledger = tracker_.warp(team, w);
+          const std::uint64_t first_item = item_of(team, w, 0, step);
+          stats_.region_invocations += static_cast<std::uint64_t>(sim::popcount(active));
+          ledger.charge_compute(costs_.perfo_check);
+
+          LaneMask exec = active;
+          if (perfo.herded && !bounds_based) {
+            if (herded_skip) exec = 0;
+          } else {
+            for (int lane = 0; lane < warp_size_; ++lane) {
+              if (!sim::lane_active(active, lane)) continue;
+              const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
+              if (perfo_skip_item(perfo, item, n_)) exec &= ~(1ull << lane);
+            }
+          }
+
+          const int skipped = sim::popcount(active) - sim::popcount(exec);
+          stats_.skipped_items += static_cast<std::uint64_t>(skipped);
+          if (exec == 0) continue;
+
+          double cost = 0;
+          for (int lane = 0; lane < warp_size_; ++lane) {
+            if (!sim::lane_active(exec, lane)) continue;
+            const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
+            binding_.accurate(item, {}, lane_out(lane));
+            binding_.commit(item, lane_out(lane));
+            cost = std::max(cost, binding_.accurate_cost(item));
+          }
+          const std::array<double, 1> paths{cost};
+          ledger.charge_paths(paths);
+          // A partially perforated warp still touches nearly the same
+          // memory segments (fragmentation), which the coalescing model
+          // captures by counting segments of the surviving lanes.
+          charge_item_memory(ledger, first_item, exec, exec);
+          stats_.accurate_items += static_cast<std::uint64_t>(sim::popcount(exec));
+        }
+      }
+    }
+  }
+
+  // --- group decision helpers ---------------------------------------------
+
+  /// Phase-A cost of the hierarchy machinery, charged per warp.
+  void charge_decision_cost(sim::WarpLedger& ledger) {
+    ledger.charge_compute(costs_.activation_check);
+    if (spec_.level == HierarchyLevel::kWarp) {
+      ledger.charge_compute(costs_.ballot);
+    } else if (spec_.level == HierarchyLevel::kBlock) {
+      ledger.charge_compute(costs_.ballot + costs_.atomic_add);
+      ledger.charge_barrier(costs_.barrier);
+    }
+  }
+
+  /// Resolve the per-lane approximate mask from the wishes and the level.
+  LaneMask resolve_mask(const WarpScratch& s, bool block_decision) const {
+    switch (spec_.level) {
+      case HierarchyLevel::kThread:
+        return s.wishes & s.active;
+      case HierarchyLevel::kWarp:
+        return s.group_decision ? s.active : 0;
+      case HierarchyLevel::kBlock:
+        return block_decision ? s.active : 0;
+    }
+    return 0;
+  }
+
+  void count_forced(const WarpScratch& s, LaneMask approx_mask) {
+    if (spec_.level == HierarchyLevel::kThread) return;
+    stats_.forced_approx +=
+        static_cast<std::uint64_t>(sim::popcount(approx_mask & s.active & ~s.wishes));
+    stats_.forced_accurate +=
+        static_cast<std::uint64_t>(sim::popcount(s.active & ~approx_mask & s.wishes));
+  }
+
+  // --- TAF -----------------------------------------------------------------
+
+  void run_taf() {
+    const pragma::TafParams& taf = *spec_.taf;
+    const int od = binding_.out_dims;
+    const std::size_t per_thread = TafState::storage_doubles(taf.history_size, od);
+
+    for (std::uint64_t team = 0; team < launch_.num_teams; ++team) {
+      sim::SharedMemoryArena arena(dev_);
+      std::vector<TafState> states;
+      states.reserve(threads_per_team_);
+      for (std::uint32_t t = 0; t < threads_per_team_; ++t) {
+        states.emplace_back(taf, od, arena.alloc_doubles(per_thread));
+      }
+
+      for (std::uint64_t step = 0; step < steps_; ++step) {
+        if (composed_step_skipped(team, step)) continue;
+        // Phase A: activation wishes and (for warp/block) group decisions.
+        BlockTally tally;
+        bool team_has_active = false;
+        for (std::uint32_t w = 0; w < warps_per_team_; ++w) {
+          WarpScratch& s = scratch_[w];
+          s.active = composed_lane_filter(active_mask(team, w, step),
+                                          item_of(team, w, 0, step), tracker_.warp(team, w));
+          s.wishes = 0;
+          if (s.active == 0) continue;
+          team_has_active = true;
+          std::array<bool, 64> wish{};
+          for (int lane = 0; lane < warp_size_; ++lane) {
+            if (!sim::lane_active(s.active, lane)) continue;
+            const std::uint32_t tid = w * static_cast<std::uint32_t>(warp_size_) +
+                                      static_cast<std::uint32_t>(lane);
+            wish[static_cast<std::size_t>(lane)] = states[tid].should_approximate();
+          }
+          s.wishes = sim::ballot(std::span<const bool>(wish.data(),
+                                                       static_cast<std::size_t>(warp_size_)),
+                                 s.active);
+          charge_decision_cost(tracker_.warp(team, w));
+          if (spec_.level == HierarchyLevel::kWarp) {
+            s.group_decision = warp_majority(s.wishes, s.active);
+          } else if (spec_.level == HierarchyLevel::kBlock) {
+            tally.add(s.wishes, s.active);
+          }
+        }
+        if (!team_has_active) continue;
+        const bool block_decision =
+            spec_.level == HierarchyLevel::kBlock && tally.majority();
+
+        // Phase B: execute the chosen path per warp.
+        for (std::uint32_t w = 0; w < warps_per_team_; ++w) {
+          WarpScratch& s = scratch_[w];
+          if (s.active == 0) continue;
+          sim::WarpLedger& ledger = tracker_.warp(team, w);
+          const std::uint64_t first_item = item_of(team, w, 0, step);
+          LaneMask approx_mask = resolve_mask(s, block_decision);
+          // Lanes without a prediction cannot approximate; they fall back
+          // to the accurate path (only reachable for forced minorities).
+          for (int lane = 0; lane < warp_size_; ++lane) {
+            if (!sim::lane_active(approx_mask, lane)) continue;
+            const std::uint32_t tid = w * static_cast<std::uint32_t>(warp_size_) +
+                                      static_cast<std::uint32_t>(lane);
+            if (!states[tid].has_prediction()) approx_mask &= ~(1ull << lane);
+          }
+          count_forced(s, approx_mask);
+          const LaneMask acc_mask = s.active & ~approx_mask;
+          stats_.region_invocations += static_cast<std::uint64_t>(sim::popcount(s.active));
+
+          double acc_cost = 0;
+          double approx_cost = 0;
+          for (int lane = 0; lane < warp_size_; ++lane) {
+            if (!sim::lane_active(s.active, lane)) continue;
+            const std::uint32_t tid = w * static_cast<std::uint32_t>(warp_size_) +
+                                      static_cast<std::uint32_t>(lane);
+            const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
+            if (sim::lane_active(acc_mask, lane)) {
+              binding_.accurate(item, {}, lane_out(lane));
+              const int credits_before = states[tid].credits();
+              states[tid].record_accurate(lane_out(lane));
+              if (credits_before == 0 && states[tid].credits() > 0) {
+                ++stats_.taf_stable_entries;
+              }
+              binding_.commit(item, lane_out(lane));
+              acc_cost = std::max(acc_cost, binding_.accurate_cost(item));
+            } else {
+              states[tid].predict(lane_out(lane));
+              binding_.commit(item, lane_out(lane));
+            }
+          }
+          if (acc_mask != 0) {
+            acc_cost += costs_.taf_record_per_value * taf.history_size * od;
+            ledger.charge_shared(static_cast<std::uint32_t>(od), dev_.shared_mem_access_cycles);
+          }
+          if (approx_mask != 0) {
+            approx_cost = costs_.taf_predict_per_value * od;
+          }
+          const std::array<double, 2> paths{acc_cost, approx_cost};
+          ledger.charge_paths(paths);
+          charge_item_memory(ledger, first_item, acc_mask, s.active);
+          stats_.accurate_items += static_cast<std::uint64_t>(sim::popcount(acc_mask));
+          stats_.approx_items += static_cast<std::uint64_t>(sim::popcount(approx_mask));
+        }
+      }
+    }
+  }
+
+  // --- iACT ------------------------------------------------------------------
+
+  void run_iact() {
+    const pragma::IactParams& iact = *spec_.iact;
+    const int id = binding_.in_dims;
+    const int od = binding_.out_dims;
+    HPAC_REQUIRE(binding_.gather != nullptr,
+                 "iACT requires a gather function for the declared inputs");
+    const int tpw = iact.tables_per_warp > 0 ? iact.tables_per_warp : warp_size_;
+    if (tpw > warp_size_ || warp_size_ % tpw != 0) {
+      throw ConfigError(strings::format(
+          "tables per warp (%d) must divide the warp size (%d)", tpw, warp_size_));
+    }
+    const int lanes_per_table = warp_size_ / tpw;
+    const std::size_t per_table = IactTable::storage_doubles(iact.table_size, id, od);
+    const Replacement replacement =
+        iact.clock_replacement ? Replacement::kClock : replacement_;
+
+    for (std::uint64_t team = 0; team < launch_.num_teams; ++team) {
+      sim::SharedMemoryArena arena(dev_);
+      std::vector<IactTable> tables;
+      tables.reserve(static_cast<std::size_t>(warps_per_team_) * static_cast<std::size_t>(tpw));
+      for (std::uint32_t i = 0; i < warps_per_team_ * static_cast<std::uint32_t>(tpw); ++i) {
+        tables.emplace_back(iact.table_size, id, od, replacement,
+                            arena.alloc_doubles(per_table));
+      }
+      auto table_of = [&](std::uint32_t w, int lane) -> IactTable& {
+        return tables[static_cast<std::size_t>(w) * static_cast<std::size_t>(tpw) +
+                      static_cast<std::size_t>(lane / lanes_per_table)];
+      };
+
+      for (std::uint64_t step = 0; step < steps_; ++step) {
+        if (composed_step_skipped(team, step)) continue;
+        // Phase A: gather inputs, probe tables, form wishes.
+        BlockTally tally;
+        bool team_has_active = false;
+        for (std::uint32_t w = 0; w < warps_per_team_; ++w) {
+          WarpScratch& s = scratch_[w];
+          s.active = composed_lane_filter(active_mask(team, w, step),
+                                          item_of(team, w, 0, step), tracker_.warp(team, w));
+          s.wishes = 0;
+          if (s.active == 0) continue;
+          team_has_active = true;
+          sim::WarpLedger& ledger = tracker_.warp(team, w);
+          const std::uint64_t first_item = item_of(team, w, 0, step);
+          std::array<bool, 64> wish{};
+          for (int lane = 0; lane < warp_size_; ++lane) {
+            if (!sim::lane_active(s.active, lane)) continue;
+            const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
+            binding_.gather(item, lane_in(s, lane));
+            s.match[static_cast<std::size_t>(lane)] =
+                table_of(w, lane).find_nearest(lane_in(s, lane));
+            const auto& m = s.match[static_cast<std::size_t>(lane)];
+            wish[static_cast<std::size_t>(lane)] = m.valid() && m.distance < iact.threshold;
+            if (wish[static_cast<std::size_t>(lane)]) ++stats_.iact_hits;
+          }
+          s.wishes = sim::ballot(std::span<const bool>(wish.data(),
+                                                       static_cast<std::size_t>(warp_size_)),
+                                 s.active);
+          // Reading phase: every invocation pays the table scan — the cost
+          // iACT can never amortize (paper insight 4).
+          ledger.charge_compute(iact.table_size *
+                                (id * costs_.iact_distance_per_dim + costs_.iact_sqrt));
+          ledger.charge_shared(static_cast<std::uint32_t>(iact.table_size * id),
+                               dev_.shared_mem_access_cycles);
+          charge_item_memory(ledger, first_item, s.active, 0);
+          charge_decision_cost(ledger);
+          if (spec_.level == HierarchyLevel::kWarp) {
+            s.group_decision = warp_majority(s.wishes, s.active);
+          } else if (spec_.level == HierarchyLevel::kBlock) {
+            tally.add(s.wishes, s.active);
+          }
+        }
+        if (!team_has_active) continue;
+        const bool block_decision =
+            spec_.level == HierarchyLevel::kBlock && tally.majority();
+
+        // Phase B: execute, then the single-writer writing phase.
+        for (std::uint32_t w = 0; w < warps_per_team_; ++w) {
+          WarpScratch& s = scratch_[w];
+          if (s.active == 0) continue;
+          sim::WarpLedger& ledger = tracker_.warp(team, w);
+          const std::uint64_t first_item = item_of(team, w, 0, step);
+          LaneMask approx_mask = resolve_mask(s, block_decision);
+          // A forced lane with an empty table has nothing to reuse; it
+          // falls back to the accurate path.
+          for (int lane = 0; lane < warp_size_; ++lane) {
+            if (!sim::lane_active(approx_mask, lane)) continue;
+            if (!s.match[static_cast<std::size_t>(lane)].valid()) approx_mask &= ~(1ull << lane);
+          }
+          count_forced(s, approx_mask);
+          const LaneMask acc_mask = s.active & ~approx_mask;
+          stats_.region_invocations += static_cast<std::uint64_t>(sim::popcount(s.active));
+
+          double acc_cost = 0;
+          double approx_cost = 0;
+          for (int lane = 0; lane < warp_size_; ++lane) {
+            if (!sim::lane_active(s.active, lane)) continue;
+            const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
+            if (sim::lane_active(acc_mask, lane)) {
+              binding_.accurate(item, lane_in(s, lane), lane_out(lane));
+              binding_.commit(item, lane_out(lane));
+              acc_cost = std::max(acc_cost, binding_.accurate_cost(item));
+            } else {
+              const auto& m = s.match[static_cast<std::size_t>(lane)];
+              auto cached = table_of(w, lane).output_at(m.index);
+              std::copy(cached.begin(), cached.end(), lane_out(lane).begin());
+              table_of(w, lane).mark_used(m.index);
+              binding_.commit(item, lane_out(lane));
+            }
+          }
+          if (approx_mask != 0) approx_cost = 2.0 * od;
+
+          // Writing phase: one writer per table — the accurate lane whose
+          // input was farthest from every cached entry.
+          if (acc_mask != 0) {
+            ledger.charge_barrier(costs_.barrier);
+            for (int t = 0; t < tpw; ++t) {
+              int writer = -1;
+              double best = -1.0;
+              for (int lane = t * lanes_per_table; lane < (t + 1) * lanes_per_table; ++lane) {
+                if (!sim::lane_active(acc_mask, lane)) continue;
+                const auto& m = s.match[static_cast<std::size_t>(lane)];
+                const double d =
+                    m.valid() ? m.distance : std::numeric_limits<double>::infinity();
+                if (d > best) {
+                  best = d;
+                  writer = lane;
+                }
+              }
+              if (writer < 0) continue;
+              table_of(w, writer).insert(lane_in(s, writer), lane_out(writer));
+            }
+            acc_cost += costs_.iact_insert_per_value * (id + od);
+          }
+
+          const std::array<double, 2> paths{acc_cost, approx_cost};
+          ledger.charge_paths(paths);
+          charge_item_memory(ledger, first_item, 0, s.active);
+          stats_.accurate_items += static_cast<std::uint64_t>(sim::popcount(acc_mask));
+          stats_.approx_items += static_cast<std::uint64_t>(sim::popcount(approx_mask));
+        }
+      }
+    }
+  }
+
+  const sim::DeviceConfig& dev_;
+  const pragma::PerfoParams* composed_perfo_;
+  Replacement replacement_;
+  const RuntimeCosts& costs_;
+  const ApproxSpec& spec_;
+  const RegionBinding& binding_;
+  std::uint64_t n_;
+  sim::LaunchConfig launch_;
+  sim::KernelTracker tracker_;
+  sim::CoalescingModel coalesce_;
+  int warp_size_;
+  std::uint32_t threads_per_team_;
+  std::uint32_t warps_per_team_;
+  std::uint64_t total_threads_;
+  std::uint64_t steps_;
+  ExecStats stats_;
+  std::vector<double> out_buf_;
+  std::vector<WarpScratch> scratch_;
+};
+
+}  // namespace
+
+RegionExecutor::RegionExecutor(sim::DeviceConfig dev, Replacement replacement, RuntimeCosts costs)
+    : dev_(std::move(dev)), replacement_(replacement), costs_(costs) {}
+
+std::size_t RegionExecutor::ac_state_bytes_per_block(const pragma::ApproxSpec& spec,
+                                                     const RegionBinding& binding,
+                                                     const sim::LaunchConfig& launch) const {
+  switch (spec.technique) {
+    case Technique::kTafMemo:
+      return static_cast<std::size_t>(launch.threads_per_team) *
+             TafState::footprint_bytes(spec.taf->history_size, binding.out_dims);
+    case Technique::kIactMemo: {
+      const int tpw = spec.iact->tables_per_warp > 0 ? spec.iact->tables_per_warp
+                                                     : dev_.warp_size;
+      return static_cast<std::size_t>(launch.warps_per_team(dev_)) *
+             static_cast<std::size_t>(tpw) *
+             IactTable::footprint_bytes(spec.iact->table_size, binding.in_dims,
+                                        binding.out_dims);
+    }
+    default:
+      return 0;
+  }
+}
+
+RegionReport RegionExecutor::run(const pragma::ApproxSpec& spec, const RegionBinding& binding,
+                                 std::uint64_t n, const sim::LaunchConfig& launch) const {
+  spec.validate();
+  launch.validate(dev_);
+  HPAC_REQUIRE(binding.accurate != nullptr, "region needs an accurate path");
+  HPAC_REQUIRE(binding.accurate_cost != nullptr, "region needs a cost function");
+  HPAC_REQUIRE(binding.commit != nullptr, "region needs a commit function");
+  HPAC_REQUIRE(binding.out_dims >= 1, "region needs at least one output");
+  if (spec.technique == Technique::kIactMemo && binding.in_dims <= 0) {
+    // The paper's MiniFE case: iACT "only supports computations with
+    // uniform input sizes for all threads" (§4.1); a region that cannot
+    // declare a fixed-width input key cannot use input memoization.
+    throw ConfigError("iACT requires uniform, fixed-width region inputs (in_dims > 0)");
+  }
+
+  const std::size_t ac_bytes = ac_state_bytes_per_block(spec, binding, launch);
+  if (ac_bytes > dev_.shared_mem_per_block) {
+    throw ConfigError(strings::format(
+        "AC state (%zu bytes) exceeds shared memory per block (%u bytes)", ac_bytes,
+        dev_.shared_mem_per_block));
+  }
+
+  RunContext ctx(dev_, replacement_, costs_, spec, binding, n, launch, ac_bytes);
+  return ctx.execute();
+}
+
+RegionReport RegionExecutor::run_composed(const pragma::ApproxSpec& perfo_spec,
+                                          const pragma::ApproxSpec& memo_spec,
+                                          const RegionBinding& binding, std::uint64_t n,
+                                          const sim::LaunchConfig& launch) const {
+  perfo_spec.validate();
+  memo_spec.validate();
+  if (perfo_spec.technique != Technique::kPerforation) {
+    throw ConfigError("composed execution requires a perfo(...) directive first");
+  }
+  if (memo_spec.technique != Technique::kTafMemo &&
+      memo_spec.technique != Technique::kIactMemo) {
+    throw ConfigError("composed execution requires a memo(...) directive second");
+  }
+  launch.validate(dev_);
+  HPAC_REQUIRE(binding.accurate != nullptr, "region needs an accurate path");
+  HPAC_REQUIRE(binding.accurate_cost != nullptr, "region needs a cost function");
+  HPAC_REQUIRE(binding.commit != nullptr, "region needs a commit function");
+  if (memo_spec.technique == Technique::kIactMemo && binding.in_dims <= 0) {
+    throw ConfigError("iACT requires uniform, fixed-width region inputs (in_dims > 0)");
+  }
+  const std::size_t ac_bytes = ac_state_bytes_per_block(memo_spec, binding, launch);
+  if (ac_bytes > dev_.shared_mem_per_block) {
+    throw ConfigError(strings::format(
+        "AC state (%zu bytes) exceeds shared memory per block (%u bytes)", ac_bytes,
+        dev_.shared_mem_per_block));
+  }
+  RunContext ctx(dev_, replacement_, costs_, memo_spec, binding, n, launch, ac_bytes,
+                 &*perfo_spec.perfo);
+  return ctx.execute();
+}
+
+}  // namespace hpac::approx

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "approx/iact.hpp"
+#include "pragma/spec.hpp"
+#include "sim/device.hpp"
+#include "sim/launch.hpp"
+#include "sim/timing.hpp"
+
+namespace hpac::approx {
+
+/// The closure view of an annotated code region.
+///
+/// The paper's Clang implementation captures the annotated region as a
+/// closure so the accurate path is callable as a function (§3.3); this
+/// struct is the library-level equivalent. One invocation corresponds to
+/// one iteration of the parallel loop the directive decorates.
+struct RegionBinding {
+  /// Doubles per item gathered as the iACT input key (the `in(...)`
+  /// sections). Zero for TAF/perforation-only regions.
+  int in_dims = 0;
+  /// Doubles per item the region produces (the `out(...)` sections).
+  int out_dims = 1;
+
+  /// Gather the item's declared inputs (required when in_dims > 0).
+  std::function<void(std::uint64_t item, std::span<double> in)> gather;
+
+  /// The accurate execution path. `in` holds gathered inputs when
+  /// in_dims > 0 and is empty otherwise (regions read their own data).
+  std::function<void(std::uint64_t item, std::span<const double> in, std::span<double> out)>
+      accurate;
+
+  /// Cycles one lane spends on the accurate path for `item`. Data-dependent
+  /// costs (e.g. CSR row length) are allowed; within a warp the SIMT cost
+  /// is the maximum over the lanes executing the path.
+  std::function<double(std::uint64_t item)> accurate_cost;
+
+  /// Commit region outputs to the application's device arrays. Called for
+  /// accurate and approximated items, not for perforated (skipped) ones.
+  std::function<void(std::uint64_t item, std::span<const double> out)> commit;
+
+  /// Global-memory bytes the accurate path loads/stores per item; drives
+  /// the coalescing model.
+  std::uint32_t in_bytes = 8;
+  std::uint32_t out_bytes = 8;
+};
+
+/// Execution counters produced by a region run.
+struct ExecStats {
+  std::uint64_t region_invocations = 0;  ///< items covered by the launch
+  std::uint64_t accurate_items = 0;
+  std::uint64_t approx_items = 0;   ///< memoized predictions committed
+  std::uint64_t skipped_items = 0;  ///< perforated iterations
+  /// Lanes overruled by a warp/block majority (paper §4.1, LavaMD):
+  std::uint64_t forced_approx = 0;    ///< wanted accurate, group approximated
+  std::uint64_t forced_accurate = 0;  ///< wanted to approximate, group did not
+  std::uint64_t iact_hits = 0;        ///< probes whose distance beat the threshold
+  std::uint64_t taf_stable_entries = 0;  ///< times a thread entered the stable regime
+  std::size_t shared_bytes_per_block = 0;
+
+  /// Fraction of covered items answered approximately (memo) or skipped
+  /// (perforation) — the color scale of Figure 8c.
+  double approx_ratio() const {
+    if (region_invocations == 0) return 0.0;
+    return static_cast<double>(approx_items + skipped_items) /
+           static_cast<double>(region_invocations);
+  }
+};
+
+/// Timing plus counters for one kernel-launch-equivalent execution.
+struct RegionReport {
+  sim::KernelTiming timing;
+  ExecStats stats;
+};
+
+/// Cycle-cost constants of the device runtime's own operations. These are
+/// small integer estimates of instruction counts; the evaluation only
+/// relies on their relative magnitudes (e.g. an iACT table scan costs a
+/// distance computation per entry *every* invocation, while TAF's
+/// activation check is a couple of instructions).
+struct RuntimeCosts {
+  double activation_check = 2.0;      ///< TAF credit test
+  double taf_record_per_value = 3.0;  ///< window push + RSD accumulation
+  double taf_predict_per_value = 2.0; ///< shared-memory copy out
+  double iact_distance_per_dim = 3.0; ///< sub/mul/add against one entry dim
+  double iact_sqrt = 8.0;
+  double iact_insert_per_value = 2.0;
+  double ballot = 4.0;                ///< ballot + popcount
+  double barrier = 20.0;              ///< __syncthreads
+  double atomic_add = 10.0;           ///< shared-memory atomic (block tally)
+  double perfo_check = 2.0;           ///< counter/modulo predicate
+};
+
+/// Executes an annotated region over a 1-D iteration space on the
+/// simulated device, following the HPAC-Offload GPU algorithms:
+/// grid-stride TAF (Figure 4d), warp-shared iACT tables with read/write
+/// phases (§3.1.4), herded or CPU-style perforation (§3.1.5) and
+/// thread/warp/block decision hierarchies (§3.1.2).
+///
+/// The executor is the library analogue of the compiler-generated runtime
+/// call: it owns AC state placement in block shared memory (and therefore
+/// the occupancy impact), the activation functions, and the SIMT cost
+/// accounting.
+class RegionExecutor {
+ public:
+  explicit RegionExecutor(sim::DeviceConfig dev,
+                          Replacement replacement = Replacement::kRoundRobin,
+                          RuntimeCosts costs = RuntimeCosts{});
+
+  /// Run the region over items [0, n) with the given launch geometry.
+  /// Throws hpac::ConfigError when the configuration cannot run (AC state
+  /// exceeding shared memory, tables-per-warp not dividing the warp size,
+  /// iACT without uniform inputs, invalid launch).
+  RegionReport run(const pragma::ApproxSpec& spec, const RegionBinding& binding,
+                   std::uint64_t n, const sim::LaunchConfig& launch) const;
+
+  /// Composed directives, the paper's Figure 2 idiom: perforation on the
+  /// parallel loop plus memoization inside the surviving iterations
+  ///
+  ///   #pragma approx perfo(small:4)
+  ///   #pragma omp ... for
+  ///   for (...) {
+  ///     #pragma approx memo(in:10:0.5f) in(...) out(...)
+  ///     ...
+  ///   }
+  ///
+  /// `perfo_spec` must be a perforation directive and `memo_spec` a
+  /// TAF/iACT directive; perforated iterations are skipped before the
+  /// memoization logic sees them (and do not touch AC state).
+  RegionReport run_composed(const pragma::ApproxSpec& perfo_spec,
+                            const pragma::ApproxSpec& memo_spec, const RegionBinding& binding,
+                            std::uint64_t n, const sim::LaunchConfig& launch) const;
+
+  /// Shared-memory footprint of the AC state for one block under `spec`
+  /// (0 for perforation/baseline). Exposed for occupancy tests and for the
+  /// Figure 3 accounting.
+  std::size_t ac_state_bytes_per_block(const pragma::ApproxSpec& spec,
+                                       const RegionBinding& binding,
+                                       const sim::LaunchConfig& launch) const;
+
+  const sim::DeviceConfig& device() const { return dev_; }
+
+ private:
+  sim::DeviceConfig dev_;
+  Replacement replacement_;
+  RuntimeCosts costs_;
+};
+
+}  // namespace hpac::approx

@@ -1,0 +1,92 @@
+#include "approx/taf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hpac::approx {
+
+TafState::TafState(const pragma::TafParams& params, int out_dims, std::span<double> storage)
+    : params_(params), out_dims_(out_dims) {
+  HPAC_REQUIRE(params.history_size >= 1, "TAF history size must be >= 1");
+  HPAC_REQUIRE(params.prediction_size >= 1, "TAF prediction size must be >= 1");
+  HPAC_REQUIRE(out_dims >= 1, "TAF needs at least one output");
+  const std::size_t needed = storage_doubles(params.history_size, out_dims);
+  HPAC_REQUIRE(storage.size() >= needed, "TAF storage span too small");
+  window_ = storage.subspan(0, static_cast<std::size_t>(params.history_size) * out_dims);
+  last_ = storage.subspan(window_.size(), static_cast<std::size_t>(out_dims));
+}
+
+std::size_t TafState::storage_doubles(int history_size, int out_dims) {
+  return static_cast<std::size_t>(history_size) * out_dims + static_cast<std::size_t>(out_dims);
+}
+
+std::size_t TafState::footprint_bytes(int history_size, int out_dims) {
+  return storage_doubles(history_size, out_dims) * sizeof(double) + 4 * sizeof(std::int32_t);
+}
+
+double TafState::window_rsd() const {
+  if (filled_ < params_.history_size) return std::numeric_limits<double>::infinity();
+  double max_rsd = 0.0;
+  for (int d = 0; d < out_dims_; ++d) {
+    double sum = 0.0;
+    double abs_sum = 0.0;
+    for (int j = 0; j < filled_; ++j) {
+      const double v = window_[static_cast<std::size_t>(j) * out_dims_ + d];
+      sum += v;
+      abs_sum += std::abs(v);
+    }
+    const double mu = sum / filled_;
+    double sq = 0.0;
+    for (int j = 0; j < filled_; ++j) {
+      const double v = window_[static_cast<std::size_t>(j) * out_dims_ + d];
+      sq += (v - mu) * (v - mu);
+    }
+    const double sigma = std::sqrt(sq / filled_);
+    // Sign-robust RSD: sigma over the mean *magnitude*. Identical to the
+    // paper's sigma/|mu| whenever the window values share a sign (all the
+    // scalar, positive-output regions), but stays finite for mean-zero
+    // multi-output windows such as force components.
+    const double denom = abs_sum / filled_;
+    double rsd;
+    if (denom == 0.0) {
+      rsd = sigma == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    } else {
+      rsd = sigma / denom;
+    }
+    max_rsd = std::max(max_rsd, rsd);
+  }
+  return max_rsd;
+}
+
+void TafState::record_accurate(std::span<const double> outputs) {
+  HPAC_REQUIRE(outputs.size() == static_cast<std::size_t>(out_dims_),
+               "TAF output dimensionality mismatch");
+  for (int d = 0; d < out_dims_; ++d) {
+    window_[static_cast<std::size_t>(cursor_) * out_dims_ + d] = outputs[d];
+    last_[static_cast<std::size_t>(d)] = outputs[d];
+  }
+  has_last_ = true;
+  cursor_ = (cursor_ + 1) % params_.history_size;
+  filled_ = std::min(filled_ + 1, params_.history_size);
+  if (filled_ == params_.history_size && window_rsd() < params_.rsd_threshold) {
+    // Stable regime: grant pSize predictions and restart the history so the
+    // next decision is based on fresh post-regime outputs.
+    credits_ = params_.prediction_size;
+    filled_ = 0;
+    cursor_ = 0;
+  }
+}
+
+void TafState::predict(std::span<double> outputs) {
+  HPAC_REQUIRE(outputs.size() == static_cast<std::size_t>(out_dims_),
+               "TAF output dimensionality mismatch");
+  for (int d = 0; d < out_dims_; ++d) {
+    outputs[static_cast<std::size_t>(d)] = has_last_ ? last_[static_cast<std::size_t>(d)] : 0.0;
+  }
+  if (credits_ > 0) --credits_;
+}
+
+}  // namespace hpac::approx

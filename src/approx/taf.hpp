@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "pragma/spec.hpp"
+
+namespace hpac::approx {
+
+/// Per-thread TAF (temporal approximate function memoization) state machine
+/// (paper §2.3 and §3.1.3).
+///
+/// The GPU algorithm (Figure 4d) gives every thread a private state machine
+/// over the iterations of its own grid-stride loop: the thread records the
+/// outputs of its last `hSize` accurate executions in a sliding window;
+/// when the window's relative standard deviation falls below the user
+/// threshold the thread enters a *stable regime* and answers the next
+/// `pSize` invocations with its most recent output instead of computing.
+///
+/// Storage lives in the block's shared memory (`SharedMemoryArena`), which
+/// is the paper's key memory design: state is sized by resident threads,
+/// not total threads. Multi-dimensional outputs keep one window per output
+/// dimension; the activation criterion is the *maximum* RSD across
+/// dimensions (the conservative choice: every output must look stable).
+///
+/// RSD uses a sign-robust denominator (mean |value| instead of |mean|): it
+/// coincides with the paper's sigma/mu whenever the window shares a sign,
+/// and avoids a division by ~zero for mean-zero outputs such as force
+/// components (see DESIGN.md, substitutions).
+class TafState {
+ public:
+  /// `storage` must provide at least `storage_doubles(...)` doubles; the
+  /// window and the last-output slot are carved from it.
+  TafState(const pragma::TafParams& params, int out_dims, std::span<double> storage);
+
+  /// Doubles of shared memory one thread's TAF state occupies.
+  static std::size_t storage_doubles(int history_size, int out_dims);
+  /// Bytes including the integer bookkeeping (cursor, fill count, credits).
+  static std::size_t footprint_bytes(int history_size, int out_dims);
+
+  /// Activation function: true while the thread holds prediction credits.
+  bool should_approximate() const { return credits_ > 0; }
+
+  /// Whether predict() has a meaningful value to return (at least one
+  /// accurate execution recorded). Minority lanes forced to approximate by
+  /// a group decision before their first accurate run have no prediction.
+  bool has_prediction() const { return has_last_; }
+
+  /// Record the outputs of an accurate execution; slides the window and,
+  /// when the window is full and max-RSD < threshold, enters the stable
+  /// regime (granting `pSize` credits) and restarts the window.
+  void record_accurate(std::span<const double> outputs);
+
+  /// Produce the memoized prediction (the most recent accurate output).
+  /// Consumes one credit when available; forced predictions (credits == 0)
+  /// are permitted for group decisions and consume nothing.
+  void predict(std::span<double> outputs);
+
+  int credits() const { return credits_; }
+  int window_fill() const { return filled_; }
+  /// Max-RSD of the current window; +inf until the window is full.
+  /// Exposed for tests and for the harness's diagnostics.
+  double window_rsd() const;
+
+ private:
+  pragma::TafParams params_;
+  int out_dims_;
+  std::span<double> window_;  ///< ring buffer, hSize rows x out_dims
+  std::span<double> last_;    ///< latest accurate output
+  int filled_ = 0;
+  int cursor_ = 0;
+  int credits_ = 0;
+  bool has_last_ = false;
+};
+
+}  // namespace hpac::approx

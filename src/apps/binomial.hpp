@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/benchmark.hpp"
+
+namespace hpac::apps {
+
+/// Binomial Options (CUDA SDK): iterative binomial-tree pricing of
+/// American-style options (Table 1). Each region invocation prices one
+/// option with a full backward induction over `tree_steps` time steps —
+/// an expensive, memoization-friendly region. The portfolio tiles a set
+/// of distinct options, providing the dataset redundancy the paper calls
+/// "an ideal candidate for AC".
+///
+/// In the original benchmark an entire block collaboratively computes one
+/// option, so the paper uses *block-level* decision-making only; the
+/// Figure 8 bench follows suit (the harness can still sweep other levels).
+///
+/// QoI: the computed prices (MAPE).
+class BinomialOptions : public harness::Benchmark {
+ public:
+  struct Params {
+    std::uint64_t num_options = 16384;
+    /// Distinct contracts tiled (with ~0.5% jitter) across the portfolio;
+    /// a power of two so the tiling period aligns with power-of-two
+    /// grid-stride thread counts (the redundancy memoization exploits).
+    std::uint64_t unique_options = 64;
+    /// Depth of the *functional* tree. The canonical CUDA-SDK benchmark
+    /// prices 2048-step trees; evaluating those on the host for every
+    /// sweep configuration is intractable, so the values come from a
+    /// shallower tree while the cost model charges `modeled_tree_steps`
+    /// (same class of substitution as the analytic timing model itself —
+    /// error is still always computed, never modeled).
+    int tree_steps = 64;
+    int modeled_tree_steps = 512;
+    std::uint64_t seed = 0xb10au;
+  };
+
+  BinomialOptions();
+  explicit BinomialOptions(Params params);
+
+  std::string name() const override { return "binomial_options"; }
+  std::uint64_t default_items_per_thread() const override { return 1; }
+  /// The redundancy period is 64 contracts; resonant strides need >= 16.
+  std::vector<std::uint64_t> memo_items_axis() const override { return {16, 64, 256}; }
+
+  harness::RunOutput run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
+                         const sim::DeviceConfig& device) override;
+
+  /// Reference binomial-tree price (used by unit tests).
+  static double tree_price(double spot, double strike, double expiry, int steps, double rate,
+                           double volatility);
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  std::vector<double> spot_, strike_, expiry_;
+};
+
+}  // namespace hpac::apps

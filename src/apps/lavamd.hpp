@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/benchmark.hpp"
+
+namespace hpac::apps {
+
+/// LavaMD (Rodinia): particle potential and relocation in a 3-D box grid
+/// (Table 1). Each region invocation computes one particle's potential and
+/// force by summing pairwise interactions with every particle in its own
+/// and its 26 neighbor boxes — the expensive force kernel the paper
+/// approximates. A cheap accurate kernel then relocates particles.
+///
+/// QoI: the final potential, force and location of each particle (MAPE).
+class LavaMd : public harness::Benchmark {
+ public:
+  struct Params {
+    int boxes_per_dim = 6;          ///< box grid is boxes_per_dim^3
+    int particles_per_box = 24;
+    double alpha = 0.5;             ///< interaction decay (Rodinia's a2)
+    std::uint64_t seed = 0x1a7au;
+  };
+
+  LavaMd();
+  explicit LavaMd(Params params);
+
+  std::string name() const override { return "lavamd"; }
+  std::uint64_t default_items_per_thread() const override { return 1; }
+  /// One particle already brings 27 region invocations per thread.
+  std::vector<std::uint64_t> memo_items_axis() const override { return {2, 4, 8}; }
+
+  harness::RunOutput run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
+                         const sim::DeviceConfig& device) override;
+
+  std::uint64_t num_particles() const;
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  std::vector<double> pos_;     ///< particles x 3, box-major ordering
+  std::vector<double> charge_;  ///< particles
+};
+
+}  // namespace hpac::apps

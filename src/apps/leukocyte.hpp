@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/benchmark.hpp"
+
+namespace hpac::apps {
+
+/// Leukocyte (Rodinia): tracks rolling white blood cells in video
+/// microscopy (Table 1). The tracking stage iteratively solves an IMGVF
+/// (image gradient vector flow) field over a patch around each detected
+/// cell; the paper approximates the per-pixel IMGVF matrix update.
+///
+/// The workload is synthetic video microscopy: per cell, a gradient-
+/// magnitude patch of an elliptical cell boundary plus noise, generated
+/// deterministically. QoI: the final location (intensity centroid of the
+/// converged IMGVF field) of each leukocyte (MAPE over coordinates).
+class Leukocyte : public harness::Benchmark {
+ public:
+  struct Params {
+    int num_cells = 16;
+    int patch = 24;        ///< square patch side, pixels
+    int iterations = 40;   ///< IMGVF solver iterations
+    double mu = 0.2;       ///< smoothing weight
+    double lambda = 0.5;   ///< data-term weight
+    std::uint64_t seed = 0x1e0cu;
+  };
+
+  Leukocyte();
+  explicit Leukocyte(Params params);
+
+  std::string name() const override { return "leukocyte"; }
+  std::uint64_t default_items_per_thread() const override { return 1; }
+
+  harness::RunOutput run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
+                         const sim::DeviceConfig& device) override;
+
+  std::uint64_t num_pixels() const;
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  std::vector<double> image_;        ///< gradient-magnitude patches, cell-major
+  std::vector<double> true_center_;  ///< per cell (row, col) of the generated ellipse
+};
+
+}  // namespace hpac::apps

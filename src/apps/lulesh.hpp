@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/benchmark.hpp"
+
+namespace hpac::apps {
+
+/// LULESH proxy: a staggered-grid Lagrangian hydrodynamics solver modeling
+/// a Sedov blast (Table 1). This is a 1-D von Neumann–Richtmyer scheme
+/// with the same kernel structure the paper approximates: per timestep,
+///
+///   1. `CalcHourglassControlForElems` — artificial viscosity + hourglass
+///      control per element (approximated),
+///   2. `CalcFBHourglassForceForElems` — element stress with hourglass
+///      force correction (approximated),
+///   3. node update (accurate): force gather, acceleration, velocity,
+///      position,
+///   4. element update (accurate): volume, energy, EOS pressure,
+///
+/// plus a host-side timestep (Courant) reduction. The blast deposits
+/// energy at the origin, so `ini` perforation (dropping the *first*
+/// elements — the blast region) damages the QoI far more than `fini`
+/// (dropping the quiescent far field), which is the paper's Figure 7
+/// observation.
+///
+/// QoI: the final origin energy (MAPE).
+class Lulesh : public harness::Benchmark {
+ public:
+  struct Params {
+    std::uint64_t num_elems = 8192;
+    int num_steps = 100;
+    double blast_energy = 10.0;   ///< specific energy deposited at the origin
+    double gamma = 1.4;
+    double cfl = 0.3;
+  };
+
+  Lulesh();
+  explicit Lulesh(Params params);
+
+  std::string name() const override { return "lulesh"; }
+  std::uint64_t default_items_per_thread() const override { return 1; }
+
+  harness::RunOutput run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
+                         const sim::DeviceConfig& device) override;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace hpac::apps

@@ -1,0 +1,154 @@
+#include "apps/minife.hpp"
+
+#include <cmath>
+
+#include "apps/support.hpp"
+
+namespace hpac::apps {
+
+MiniFe::MiniFe() : MiniFe(Params{}) {}
+
+MiniFe::MiniFe(Params params) : params_(params) {
+  const int g = params_.grid;
+  rows_ = static_cast<std::uint64_t>(g) * g * g;
+  row_ptr_.reserve(rows_ + 1);
+  row_ptr_.push_back(0);
+  const auto index = [g](int i, int j, int k) {
+    return static_cast<std::uint64_t>((k * g + j) * g + i);
+  };
+  for (int k = 0; k < g; ++k) {
+    for (int j = 0; j < g; ++j) {
+      for (int i = 0; i < g; ++i) {
+        // 7-point Laplacian stencil with Dirichlet truncation at the
+        // boundary: interior rows have 7 non-zeros, faces fewer — the
+        // non-uniform row structure that rules out iACT.
+        const auto add = [this](std::uint64_t col, double value) {
+          col_idx_.push_back(col);
+          values_.push_back(value);
+        };
+        add(index(i, j, k), 6.0);
+        if (i > 0) add(index(i - 1, j, k), -1.0);
+        if (i < g - 1) add(index(i + 1, j, k), -1.0);
+        if (j > 0) add(index(i, j - 1, k), -1.0);
+        if (j < g - 1) add(index(i, j + 1, k), -1.0);
+        if (k > 0) add(index(i, j, k - 1), -1.0);
+        if (k < g - 1) add(index(i, j, k + 1), -1.0);
+        row_ptr_.push_back(col_idx_.size());
+      }
+    }
+  }
+  rhs_.assign(rows_, 1.0);  // uniform body load
+}
+
+harness::RunOutput MiniFe::run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
+                               const sim::DeviceConfig& device) {
+  const std::uint64_t n = rows_;
+  offload::Device dev(device);
+  approx::RegionExecutor executor(device);
+  harness::RunOutput output;
+
+  std::vector<double> x(n, 0.0), r(rhs_), p(rhs_), ap(n, 0.0);
+
+  offload::MapScope map_matrix(
+      dev, values_.size() * (sizeof(double) + sizeof(std::uint64_t)) + row_ptr_.size() * 8,
+      offload::MapDir::kTo);
+  offload::MapScope map_vectors(dev, n * 4 * sizeof(double), offload::MapDir::kToFrom);
+
+  // --- SpMV row product (approximated) ------------------------------------
+  approx::RegionBinding spmv;
+  spmv.in_dims = 0;  // varying row width: no uniform iACT key (see header)
+  spmv.out_dims = 1;
+  spmv.in_bytes = 7 * (sizeof(double) + sizeof(std::uint64_t)) + sizeof(double);
+  spmv.out_bytes = sizeof(double);
+  spmv.accurate = [&](std::uint64_t row, std::span<const double>, std::span<double> out) {
+    double sum = 0.0;
+    for (std::uint64_t idx = row_ptr_[row]; idx < row_ptr_[row + 1]; ++idx) {
+      sum += values_[idx] * p[col_idx_[idx]];
+    }
+    out[0] = sum;
+  };
+  spmv.accurate_cost = [this](std::uint64_t row) {
+    return 6.0 * static_cast<double>(row_ptr_[row + 1] - row_ptr_[row]) + 10.0;
+  };
+  spmv.commit = [&ap](std::uint64_t row, std::span<const double> out) { ap[row] = out[0]; };
+
+  // --- vector kernels (accurate) -------------------------------------------
+  double dot_acc = 0.0;
+  approx::RegionBinding dot_pap;
+  dot_pap.out_dims = 1;
+  dot_pap.in_bytes = 2 * sizeof(double);
+  dot_pap.out_bytes = 0;
+  dot_pap.accurate = [&](std::uint64_t i, std::span<const double>, std::span<double> out) {
+    out[0] = p[i] * ap[i];
+  };
+  dot_pap.accurate_cost = [](std::uint64_t) { return 4.0; };
+  dot_pap.commit = [&dot_acc](std::uint64_t, std::span<const double> out) { dot_acc += out[0]; };
+
+  double alpha = 0.0;
+  approx::RegionBinding update_x_r;
+  update_x_r.out_dims = 2;
+  update_x_r.in_bytes = 4 * sizeof(double);
+  update_x_r.out_bytes = 2 * sizeof(double);
+  update_x_r.accurate = [&](std::uint64_t i, std::span<const double>, std::span<double> out) {
+    out[0] = x[i] + alpha * p[i];
+    out[1] = r[i] - alpha * ap[i];
+  };
+  update_x_r.accurate_cost = [](std::uint64_t) { return 8.0; };
+  update_x_r.commit = [&](std::uint64_t i, std::span<const double> out) {
+    x[i] = out[0];
+    r[i] = out[1];
+  };
+
+  double rr_acc = 0.0;
+  approx::RegionBinding dot_rr;
+  dot_rr.out_dims = 1;
+  dot_rr.in_bytes = sizeof(double);
+  dot_rr.out_bytes = 0;
+  dot_rr.accurate = [&](std::uint64_t i, std::span<const double>, std::span<double> out) {
+    out[0] = r[i] * r[i];
+  };
+  dot_rr.accurate_cost = [](std::uint64_t) { return 3.0; };
+  dot_rr.commit = [&rr_acc](std::uint64_t, std::span<const double> out) { rr_acc += out[0]; };
+
+  double beta = 0.0;
+  approx::RegionBinding update_p;
+  update_p.out_dims = 1;
+  update_p.in_bytes = 2 * sizeof(double);
+  update_p.out_bytes = sizeof(double);
+  update_p.accurate = [&](std::uint64_t i, std::span<const double>, std::span<double> out) {
+    out[0] = r[i] + beta * p[i];
+  };
+  update_p.accurate_cost = [](std::uint64_t) { return 4.0; };
+  update_p.commit = [&p](std::uint64_t i, std::span<const double> out) { p[i] = out[0]; };
+
+  const sim::LaunchConfig spmv_launch =
+      sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());
+  const sim::LaunchConfig vec_launch = sim::launch_for_items_per_thread(n, 1, threads_per_team());
+
+  double rr = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) rr += r[i] * r[i];
+  const double stop = params_.tolerance * params_.tolerance * rr;
+
+  int iterations = 0;
+  for (; iterations < params_.max_iterations && rr > stop; ++iterations) {
+    launch_kernel(dev, executor, spec, spmv, n, spmv_launch, &output.stats);
+    dot_acc = 0.0;
+    launch_kernel(dev, executor, accurate_spec(), dot_pap, n, vec_launch, nullptr);
+    if (dot_acc == 0.0 || !std::isfinite(dot_acc)) break;  // solver broke down
+    alpha = rr / dot_acc;
+    launch_kernel(dev, executor, accurate_spec(), update_x_r, n, vec_launch, nullptr);
+    rr_acc = 0.0;
+    launch_kernel(dev, executor, accurate_spec(), dot_rr, n, vec_launch, nullptr);
+    if (!std::isfinite(rr_acc)) break;
+    beta = rr_acc / rr;
+    rr = rr_acc;
+    launch_kernel(dev, executor, accurate_spec(), update_p, n, vec_launch, nullptr);
+  }
+
+  output.timeline = dev.timeline();
+  output.qoi = {std::sqrt(std::max(rr, 0.0))};  // final residual norm (Table 1)
+  output.iterations = iterations;
+  return output;
+}
+
+}  // namespace hpac::apps

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/benchmark.hpp"
+
+namespace hpac::apps {
+
+/// MiniFE (Mantevo): proxy for unstructured implicit finite-element codes
+/// (Table 1). Assembles a sparse (CSR) 7-point Poisson operator on a 3-D
+/// hex mesh and solves A x = b with unpreconditioned conjugate gradients.
+///
+/// The approximated region is the SpMV row product; the dot products and
+/// vector updates run as accurate device kernels. Because CG feeds every
+/// SpMV result back into the search direction, locally introduced errors
+/// propagate and amplify — the paper measures errors between 593% and
+/// 3.4e22% and excludes MiniFE from the <10%-error overview.
+///
+/// iACT is *not applicable*: rows have varying numbers of non-zeros, so
+/// the region has no uniform fixed-width input key (in_dims = 0 and the
+/// executor rejects `memo(in:...)` with a ConfigError).
+///
+/// QoI: the final residual norm of the solver (MAPE on the scalar).
+class MiniFe : public harness::Benchmark {
+ public:
+  struct Params {
+    int grid = 16;          ///< mesh is grid^3 rows
+    int max_iterations = 50;
+    double tolerance = 1e-8;
+  };
+
+  MiniFe();
+  explicit MiniFe(Params params);
+
+  std::string name() const override { return "minife"; }
+  std::uint64_t default_items_per_thread() const override { return 1; }
+
+  harness::RunOutput run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
+                         const sim::DeviceConfig& device) override;
+
+  std::uint64_t num_rows() const { return rows_; }
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  std::uint64_t rows_;
+  // CSR storage of the assembled operator.
+  std::vector<std::uint64_t> row_ptr_;
+  std::vector<std::uint64_t> col_idx_;
+  std::vector<double> values_;
+  std::vector<double> rhs_;
+};
+
+}  // namespace hpac::apps

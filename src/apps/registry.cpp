@@ -1,0 +1,30 @@
+#include "apps/registry.hpp"
+
+#include "apps/binomial.hpp"
+#include "apps/blackscholes.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/lavamd.hpp"
+#include "apps/leukocyte.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/minife.hpp"
+#include "common/error.hpp"
+
+namespace hpac::apps {
+
+std::vector<std::string> benchmark_names() {
+  return {"lulesh",       "leukocyte", "binomial_options", "minife",
+          "blackscholes", "lavamd",    "kmeans"};
+}
+
+std::unique_ptr<harness::Benchmark> make_benchmark(const std::string& name) {
+  if (name == "lulesh") return std::make_unique<Lulesh>();
+  if (name == "leukocyte") return std::make_unique<Leukocyte>();
+  if (name == "binomial_options") return std::make_unique<BinomialOptions>();
+  if (name == "minife") return std::make_unique<MiniFe>();
+  if (name == "blackscholes") return std::make_unique<Blackscholes>();
+  if (name == "lavamd") return std::make_unique<LavaMd>();
+  if (name == "kmeans") return std::make_unique<KMeans>();
+  throw ConfigError("unknown benchmark: " + name);
+}
+
+}  // namespace hpac::apps

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/benchmark.hpp"
+
+namespace hpac::apps {
+
+/// Names of all reproduced benchmarks (Table 1), in the paper's order.
+std::vector<std::string> benchmark_names();
+
+/// Construct a benchmark by name with its default (bench-scale) workload.
+/// Throws hpac::ConfigError for unknown names.
+std::unique_ptr<harness::Benchmark> make_benchmark(const std::string& name);
+
+}  // namespace hpac::apps

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "approx/region.hpp"
+#include "offload/device.hpp"
+#include "offload/target.hpp"
+#include "pragma/spec.hpp"
+#include "sim/launch.hpp"
+
+namespace hpac::apps {
+
+/// Accumulate the counters of one kernel launch into an aggregate (apps
+/// launch their approximated kernels many times per run).
+inline void accumulate_stats(approx::ExecStats& total, const approx::ExecStats& part) {
+  total.region_invocations += part.region_invocations;
+  total.accurate_items += part.accurate_items;
+  total.approx_items += part.approx_items;
+  total.skipped_items += part.skipped_items;
+  total.forced_approx += part.forced_approx;
+  total.forced_accurate += part.forced_accurate;
+  total.iact_hits += part.iact_hits;
+  total.taf_stable_entries += part.taf_stable_entries;
+  if (part.shared_bytes_per_block > total.shared_bytes_per_block) {
+    total.shared_bytes_per_block = part.shared_bytes_per_block;
+  }
+}
+
+/// Launch one kernel: adds its modeled time to the device timeline and,
+/// when `aggregate` is given, folds the approximation counters into it.
+inline approx::RegionReport launch_kernel(offload::Device& device,
+                                          const approx::RegionExecutor& executor,
+                                          const pragma::ApproxSpec& spec,
+                                          const approx::RegionBinding& binding,
+                                          std::uint64_t n, const sim::LaunchConfig& launch,
+                                          approx::ExecStats* aggregate = nullptr) {
+  approx::RegionReport report =
+      offload::target_parallel_for(device, executor, spec, binding, n, launch);
+  if (aggregate != nullptr) accumulate_stats(*aggregate, report.stats);
+  return report;
+}
+
+/// The accurate-only spec used for un-annotated kernels.
+inline const pragma::ApproxSpec& accurate_spec() {
+  static const pragma::ApproxSpec spec;
+  return spec;
+}
+
+}  // namespace hpac::apps

@@ -1,0 +1,97 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hpac {
+
+CsvTable::CsvTable(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  HPAC_REQUIRE(!columns_.empty(), "CSV table needs at least one column");
+}
+
+void CsvTable::add_row(std::vector<CsvCell> cells) {
+  HPAC_REQUIRE(cells.size() == columns_.size(),
+               strings::format("row has %zu cells, table has %zu columns", cells.size(),
+                               columns_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+const CsvCell& CsvTable::at(std::size_t row, std::size_t col) const {
+  HPAC_REQUIRE(row < rows_.size(), "row out of range");
+  HPAC_REQUIRE(col < columns_.size(), "column out of range");
+  return rows_[row][col];
+}
+
+double CsvTable::number_at(std::size_t row, std::size_t col) const {
+  const CsvCell& cell = at(row, col);
+  if (const auto* d = std::get_if<double>(&cell)) return *d;
+  if (const auto* i = std::get_if<long long>(&cell)) return static_cast<double>(*i);
+  throw Error("CSV cell is not numeric");
+}
+
+const CsvCell& CsvTable::at(std::size_t row, const std::string& column) const {
+  return at(row, column_index(column));
+}
+
+double CsvTable::number_at(std::size_t row, const std::string& column) const {
+  return number_at(row, column_index(column));
+}
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  throw Error("no such CSV column: " + name);
+}
+
+namespace {
+void write_cell(std::ostream& os, const CsvCell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    const bool needs_quotes = s->find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) {
+      os << *s;
+      return;
+    }
+    os << '"';
+    for (char c : *s) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"';
+  } else if (const auto* d = std::get_if<double>(&cell)) {
+    std::ostringstream tmp;
+    tmp.precision(12);
+    tmp << *d;
+    os << tmp.str();
+  } else {
+    os << std::get<long long>(cell);
+  }
+}
+}  // namespace
+
+void CsvTable::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << ',';
+    os << columns_[i];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      write_cell(os, row[i]);
+    }
+    os << '\n';
+  }
+}
+
+void CsvTable::save(const std::string& path) const {
+  std::ofstream out(path);
+  HPAC_REQUIRE(out.good(), "cannot open CSV output file: " + path);
+  write(out);
+}
+
+}  // namespace hpac

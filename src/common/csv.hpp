@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hpac {
+
+/// A single CSV cell; stored typed so numeric formatting is uniform.
+using CsvCell = std::variant<std::string, double, long long>;
+
+/// Append-only CSV table used as the harness "result database" (the paper's
+/// execution harness stores runtime/error results in a database the user
+/// queries afterwards; we persist plain CSV for the same purpose).
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> columns);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Append a row; must match the column count.
+  void add_row(std::vector<CsvCell> cells);
+
+  /// Cell accessors for tests and aggregation.
+  const CsvCell& at(std::size_t row, std::size_t col) const;
+  double number_at(std::size_t row, std::size_t col) const;
+  const CsvCell& at(std::size_t row, const std::string& column) const;
+  double number_at(std::size_t row, const std::string& column) const;
+
+  /// Column index by name; throws if missing.
+  std::size_t column_index(const std::string& name) const;
+
+  /// Serialize with a header row. Quotes cells containing separators.
+  void write(std::ostream& os) const;
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<CsvCell>> rows_;
+};
+
+}  // namespace hpac

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hpac {
+
+/// Base exception type for all errors raised by the HPAC-Offload library.
+///
+/// Errors are reserved for contract violations that a caller can act on
+/// (bad clause syntax, invalid launch configuration, shared-memory
+/// overflow). Internal invariants use assertions instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an HPAC pragma clause fails to parse or validate.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Raised when a kernel launch or approximation configuration is invalid
+/// for the target device (e.g. AC state exceeds shared memory).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  throw Error(std::string("requirement failed: ") + expr + " at " + file + ":" +
+              std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace hpac
+
+/// Precondition check that throws hpac::Error with location information.
+/// Used on public API boundaries; always enabled (not compiled out).
+#define HPAC_REQUIRE(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) ::hpac::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

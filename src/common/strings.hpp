@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpac::strings {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a single character; does not merge adjacent separators.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Strict parse helpers used by the clause parser: the whole token must be
+/// consumed, otherwise they return false.
+bool parse_int(std::string_view s, long long& out);
+bool parse_double(std::string_view s, double& out);
+
+/// printf-style convenience returning std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace hpac::strings

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpac {
+
+/// Fixed-width console table used by the bench binaries to print the rows
+/// and series that correspond to the paper's tables and figures.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column alignment and a header separator line.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpac

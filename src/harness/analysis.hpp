@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "harness/record.hpp"
+
+namespace hpac::harness {
+
+/// Best (highest-speedup) feasible record with error below `max_error`,
+/// the selection rule of Figure 6 ("highest speedup where error is less
+/// than 10%"). Empty when no configuration qualifies.
+std::optional<RunRecord> best_under_error(const std::vector<RunRecord>& records,
+                                          double max_error_percent);
+
+/// Error-distribution summary used by Figure 6's top panels: the error
+/// values of all feasible records below `max_error_percent`.
+std::vector<double> errors_under(const std::vector<RunRecord>& records,
+                                 double max_error_percent);
+
+/// The overplotting-reduction rule of §4: divide the error range into
+/// `intervals` equal bins and keep, per bin, the fastest and slowest
+/// `keep_fraction` of configurations.
+std::vector<RunRecord> decimate_for_plot(const std::vector<RunRecord>& records, int intervals,
+                                         double keep_fraction);
+
+/// Speedups grouped by a key extractor, for paired comparisons such as
+/// Figure 11c (thread vs warp hierarchy per RSD threshold).
+struct GroupStats {
+  std::string key;
+  stats::BoxStats box;
+  std::size_t count = 0;
+};
+std::vector<GroupStats> group_box_stats(
+    const std::vector<RunRecord>& records,
+    const std::function<std::string(const RunRecord&)>& key_of);
+
+/// Convergence-speedup analysis of Figure 12c: regress time speedup
+/// against convergence speedup (baseline iterations / approx iterations)
+/// and report R^2.
+struct ConvergenceCorrelation {
+  stats::Regression regression;
+  std::vector<double> convergence_speedup;
+  std::vector<double> time_speedup;
+};
+ConvergenceCorrelation convergence_correlation(const std::vector<RunRecord>& records);
+
+/// Geometric-mean speedup of the per-(benchmark, technique) best records —
+/// the paper's "geomean speedup 1.42x" headline aggregation.
+double geomean_best_speedup(const std::vector<RunRecord>& records, double max_error_percent);
+
+}  // namespace hpac::harness

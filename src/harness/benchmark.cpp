@@ -1,0 +1,14 @@
+#include "harness/benchmark.hpp"
+
+#include "common/stats.hpp"
+
+namespace hpac::harness {
+
+double Benchmark::error_percent(const RunOutput& accurate, const RunOutput& approx) const {
+  if (error_metric() == ErrorMetric::kMcr) {
+    return stats::mcr_percent(accurate.qoi_labels, approx.qoi_labels);
+  }
+  return stats::mape_percent(accurate.qoi, approx.qoi);
+}
+
+}  // namespace hpac::harness

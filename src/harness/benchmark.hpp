@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "approx/region.hpp"
+#include "offload/device.hpp"
+#include "pragma/spec.hpp"
+#include "sim/device.hpp"
+
+namespace hpac::harness {
+
+/// How a benchmark's quality loss is quantified (paper §4): MAPE for all
+/// applications except K-Means, which uses the misclassification rate.
+enum class ErrorMetric { kMape, kMcr };
+
+/// Which portion of the timeline the speedup is computed over. The paper
+/// uses end-to-end time everywhere except Blackscholes (kernel time only,
+/// since 99% of its runtime is allocation and transfers).
+enum class TimingScope { kEndToEnd, kKernelOnly };
+
+/// Result of one benchmark execution under a given approximation config.
+struct RunOutput {
+  offload::Timeline timeline;
+  approx::ExecStats stats;        ///< aggregated over all approximated kernels
+  std::vector<double> qoi;        ///< quantity of interest (numeric metrics)
+  std::vector<int> qoi_labels;    ///< categorical QoI (K-Means cluster ids)
+  double iterations = 0;          ///< solver iterations to convergence, if iterative
+};
+
+/// The interface every reproduced application implements (Table 1).
+///
+/// A benchmark owns its synthetic workload (generated deterministically
+/// from a fixed seed), knows which kernels it approximates, and reports
+/// its QoI. The harness drives it with approximation specs, launch
+/// geometry (items per thread) and a device.
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+
+  virtual std::string name() const = 0;
+  virtual ErrorMetric error_metric() const { return ErrorMetric::kMape; }
+  virtual TimingScope timing_scope() const { return TimingScope::kEndToEnd; }
+
+  /// Items-per-thread value of the un-approximated original launch, used
+  /// for the baseline run (the paper picks the best-performing original
+  /// configuration as the reference).
+  virtual std::uint64_t default_items_per_thread() const { return 1; }
+  virtual std::uint32_t threads_per_team() const { return 128; }
+
+  /// The items-per-thread values worth sweeping for memoization on this
+  /// benchmark (regions with many invocations per item, like LavaMD's 27
+  /// neighbor boxes, use smaller values).
+  virtual std::vector<std::uint64_t> memo_items_axis() const { return {8, 64}; }
+
+  /// Execute the full application (all kernels, host work, transfers) with
+  /// the given approximation configuration. `spec.technique == kNone`
+  /// yields the accurate original program. Implementations must be
+  /// deterministic for a fixed (spec, items_per_thread, device) triple.
+  virtual RunOutput run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
+                        const sim::DeviceConfig& device) = 0;
+
+  /// Compute the quality-loss percentage of `approx` against `accurate`
+  /// using this benchmark's metric.
+  double error_percent(const RunOutput& accurate, const RunOutput& approx) const;
+};
+
+}  // namespace hpac::harness

@@ -1,0 +1,65 @@
+#include "harness/explorer.hpp"
+
+#include "common/error.hpp"
+
+namespace hpac::harness {
+
+Explorer::Explorer(Benchmark& benchmark, sim::DeviceConfig device)
+    : benchmark_(benchmark), device_(std::move(device)) {}
+
+double Explorer::scoped_seconds(const RunOutput& output) const {
+  return benchmark_.timing_scope() == TimingScope::kKernelOnly
+             ? output.timeline.kernel_seconds
+             : output.timeline.end_to_end_seconds();
+}
+
+const RunOutput& Explorer::baseline() {
+  if (!have_baseline_) {
+    pragma::ApproxSpec none;
+    baseline_output_ =
+        benchmark_.run(none, benchmark_.default_items_per_thread(), device_);
+    baseline_seconds_ = scoped_seconds(baseline_output_);
+    have_baseline_ = true;
+  }
+  return baseline_output_;
+}
+
+RunRecord Explorer::run_config(const pragma::ApproxSpec& spec,
+                               std::uint64_t items_per_thread) {
+  baseline();
+  RunRecord record;
+  record.benchmark = benchmark_.name();
+  record.device = device_.name;
+  record.items_per_thread = items_per_thread;
+  record.set_spec(spec);
+  try {
+    const RunOutput output = benchmark_.run(spec, items_per_thread, device_);
+    const double seconds = scoped_seconds(output);
+    record.speedup = seconds > 0 ? baseline_seconds_ / seconds : 0.0;
+    record.error_percent = benchmark_.error_percent(baseline_output_, output);
+    record.approx_ratio = output.stats.approx_ratio();
+    record.kernel_seconds = output.timeline.kernel_seconds;
+    record.end_to_end_seconds = output.timeline.end_to_end_seconds();
+    record.iterations = output.iterations;
+    record.baseline_iterations = baseline_output_.iterations;
+  } catch (const ConfigError& e) {
+    record.feasible = false;
+    record.note = e.what();
+  }
+  db_.add(record);
+  return record;
+}
+
+std::size_t Explorer::sweep(const std::vector<pragma::ApproxSpec>& specs,
+                            const std::vector<std::uint64_t>& items_per_thread) {
+  std::size_t feasible = 0;
+  for (const auto& spec : specs) {
+    for (std::uint64_t ipt : items_per_thread) {
+      const RunRecord record = run_config(spec, ipt);
+      if (record.feasible) ++feasible;
+    }
+  }
+  return feasible;
+}
+
+}  // namespace hpac::harness

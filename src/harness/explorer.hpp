@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/benchmark.hpp"
+#include "harness/record.hpp"
+#include "pragma/spec.hpp"
+#include "sim/device.hpp"
+
+namespace hpac::harness {
+
+/// Drives one benchmark through approximation configurations on one
+/// simulated device: the hpac-offload *execution harness* (paper §2.3).
+/// It runs the accurate program once as the baseline, then evaluates each
+/// candidate configuration, computing speedup and quality loss, and
+/// collects everything in a ResultDb the caller can persist or aggregate.
+class Explorer {
+ public:
+  Explorer(Benchmark& benchmark, sim::DeviceConfig device);
+
+  /// Run (or reuse) the accurate baseline at the benchmark's default
+  /// launch geometry.
+  const RunOutput& baseline();
+
+  /// Evaluate a single configuration and append it to the database;
+  /// infeasible configurations (AC state exceeding shared memory,
+  /// tables-per-warp mismatch, iACT without uniform inputs) yield a
+  /// record with feasible = false instead of propagating the error,
+  /// matching a harness that logs and moves on.
+  RunRecord run_config(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread);
+
+  /// Evaluate the cross product specs x items-per-thread, appending to
+  /// the database. Returns the number of feasible configurations.
+  std::size_t sweep(const std::vector<pragma::ApproxSpec>& specs,
+                    const std::vector<std::uint64_t>& items_per_thread);
+
+  ResultDb& db() { return db_; }
+  const ResultDb& db() const { return db_; }
+  const sim::DeviceConfig& device() const { return device_; }
+
+ private:
+  double scoped_seconds(const RunOutput& output) const;
+
+  Benchmark& benchmark_;
+  sim::DeviceConfig device_;
+  ResultDb db_;
+  bool have_baseline_ = false;
+  RunOutput baseline_output_;
+  double baseline_seconds_ = 0;
+};
+
+}  // namespace hpac::harness

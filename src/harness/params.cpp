@@ -1,0 +1,205 @@
+#include "harness/params.hpp"
+
+namespace hpac::harness {
+
+namespace table2 {
+
+std::vector<int> taf_history_sizes() { return {1, 2, 3, 4, 5}; }
+
+std::vector<int> taf_prediction_sizes() {
+  std::vector<int> v;
+  for (int p = 2; p <= 512; p *= 2) v.push_back(p);
+  return v;
+}
+
+std::vector<double> memo_out_thresholds() {
+  return {0.3, 0.6, 0.9, 1.2, 1.5, 3.0, 5.0, 20.0};
+}
+
+std::vector<int> iact_tables_per_warp() { return {1, 2, 16, 32, 64}; }
+
+std::vector<int> iact_table_sizes() { return {1, 2, 4, 8}; }
+
+std::vector<double> memo_in_thresholds() {
+  return {0.1, 0.3, 0.5, 0.7, 0.9, 3.0, 5.0, 20.0};
+}
+
+std::vector<int> perfo_skips() { return {2, 4, 8, 16, 32, 64}; }
+
+std::vector<int> perfo_skip_percents() { return {10, 20, 30, 40, 50, 60, 70, 80, 90}; }
+
+std::vector<pragma::HierarchyLevel> hierarchies() {
+  return {pragma::HierarchyLevel::kThread, pragma::HierarchyLevel::kWarp};
+}
+
+std::vector<std::uint64_t> items_per_thread() {
+  std::vector<std::uint64_t> v;
+  for (std::uint64_t i = 8; i <= 512; i *= 2) v.push_back(i);
+  return v;
+}
+
+}  // namespace table2
+
+namespace {
+
+/// Keep every `stride`-th element, always including the first and last so
+/// quick sweeps still span the full range of each axis.
+template <typename T>
+std::vector<T> strided(const std::vector<T>& xs, std::size_t stride) {
+  if (stride <= 1 || xs.size() <= 2) return xs;
+  std::vector<T> out;
+  for (std::size_t i = 0; i < xs.size(); i += stride) out.push_back(xs[i]);
+  if (out.back() != xs.back()) out.push_back(xs.back());
+  return out;
+}
+
+template <typename T>
+std::vector<T> pick(SweepDensity density, const std::vector<T>& xs, std::size_t quick_stride) {
+  return density == SweepDensity::kFull ? xs : strided(xs, quick_stride);
+}
+
+}  // namespace
+
+std::vector<pragma::ApproxSpec> taf_specs(SweepDensity density) {
+  std::vector<pragma::ApproxSpec> specs;
+  for (int h : pick(density, table2::taf_history_sizes(), 2)) {
+    for (int p : pick(density, table2::taf_prediction_sizes(), 2)) {
+      for (double thr : pick(density, table2::memo_out_thresholds(), 2)) {
+        for (auto level : table2::hierarchies()) {
+          pragma::ApproxSpec spec;
+          spec.technique = pragma::Technique::kTafMemo;
+          spec.taf = pragma::TafParams{h, p, thr};
+          spec.level = level;
+          spec.out_sections.push_back("qoi[i]");
+          specs.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+std::vector<pragma::ApproxSpec> iact_specs(SweepDensity density, int warp_size) {
+  std::vector<pragma::ApproxSpec> specs;
+  for (int tpw : table2::iact_tables_per_warp()) {
+    if (tpw > warp_size) continue;  // 64 tables/warp exist only on AMD
+    for (int tsize : pick(density, table2::iact_table_sizes(), 2)) {
+      for (double thr : pick(density, table2::memo_in_thresholds(), 2)) {
+        for (auto level : table2::hierarchies()) {
+          pragma::ApproxSpec spec;
+          spec.technique = pragma::Technique::kIactMemo;
+          spec.iact = pragma::IactParams{tsize, thr, tpw};
+          spec.level = level;
+          spec.in_sections.push_back("in[i]");
+          spec.out_sections.push_back("qoi[i]");
+          specs.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+std::vector<pragma::ApproxSpec> perfo_specs(SweepDensity density) {
+  std::vector<pragma::ApproxSpec> specs;
+  auto add = [&specs](pragma::PerfoParams params) {
+    pragma::ApproxSpec spec;
+    spec.technique = pragma::Technique::kPerforation;
+    spec.perfo = params;
+    specs.push_back(std::move(spec));
+  };
+  for (int skip : pick(density, table2::perfo_skips(), 2)) {
+    add({pragma::PerfoKind::kSmall, skip, 0.0, true});
+    add({pragma::PerfoKind::kLarge, skip, 0.0, true});
+  }
+  for (int percent : pick(density, table2::perfo_skip_percents(), 2)) {
+    add({pragma::PerfoKind::kIni, 2, percent / 100.0, true});
+    add({pragma::PerfoKind::kFini, 2, percent / 100.0, true});
+  }
+  return specs;
+}
+
+std::vector<std::uint64_t> items_per_thread_axis(SweepDensity density) {
+  return pick(density, table2::items_per_thread(), 2);
+}
+
+std::vector<pragma::ApproxSpec> curated_taf_specs(
+    const std::vector<pragma::HierarchyLevel>& levels) {
+  std::vector<pragma::ApproxSpec> specs;
+  auto add = [&specs, &levels](int h, int p, double thr) {
+    for (auto level : levels) {
+      pragma::ApproxSpec spec;
+      spec.technique = pragma::Technique::kTafMemo;
+      spec.taf = pragma::TafParams{h, p, thr};
+      spec.level = level;
+      spec.out_sections.push_back("qoi[i]");
+      specs.push_back(std::move(spec));
+    }
+  };
+  for (double thr : {0.3, 0.9, 1.5, 5.0, 20.0}) {
+    for (int p : {8, 64, 512}) add(3, p, thr);
+  }
+  add(1, 64, 1.5);
+  add(5, 64, 1.5);
+  return specs;
+}
+
+std::vector<pragma::ApproxSpec> curated_iact_specs(
+    int warp_size, const std::vector<pragma::HierarchyLevel>& levels) {
+  std::vector<pragma::ApproxSpec> specs;
+  auto add = [&specs, &levels](int tsize, double thr, int tpw) {
+    for (auto level : levels) {
+      pragma::ApproxSpec spec;
+      spec.technique = pragma::Technique::kIactMemo;
+      spec.iact = pragma::IactParams{tsize, thr, tpw};
+      spec.level = level;
+      spec.in_sections.push_back("in[i]");
+      spec.out_sections.push_back("qoi[i]");
+      specs.push_back(std::move(spec));
+    }
+  };
+  for (int tsize : {1, 4, 8}) {
+    for (double thr : {0.1, 0.5, 0.9, 5.0}) add(tsize, thr, 2);
+  }
+  add(4, 0.5, 1);
+  add(4, 0.5, 16);
+  add(4, 0.5, warp_size);
+  return specs;
+}
+
+std::vector<pragma::ApproxSpec> curated_perfo_specs() {
+  std::vector<pragma::ApproxSpec> specs;
+  auto add = [&specs](pragma::PerfoParams params) {
+    pragma::ApproxSpec spec;
+    spec.technique = pragma::Technique::kPerforation;
+    spec.perfo = params;
+    specs.push_back(std::move(spec));
+  };
+  for (int skip : {2, 4, 16}) {
+    add({pragma::PerfoKind::kSmall, skip, 0.0, true});
+    add({pragma::PerfoKind::kLarge, skip, 0.0, true});
+  }
+  for (double frac : {0.1, 0.3, 0.5, 0.7}) {
+    add({pragma::PerfoKind::kIni, 2, frac, true});
+    add({pragma::PerfoKind::kFini, 2, frac, true});
+  }
+  return specs;
+}
+
+std::uint64_t full_config_count(int warp_size) {
+  const auto ipt = table2::items_per_thread().size();
+  std::uint64_t taf = table2::taf_history_sizes().size() *
+                      table2::taf_prediction_sizes().size() *
+                      table2::memo_out_thresholds().size() * table2::hierarchies().size() * ipt;
+  std::uint64_t tpw_count = 0;
+  for (int tpw : table2::iact_tables_per_warp()) {
+    if (tpw <= warp_size) ++tpw_count;
+  }
+  std::uint64_t iact = tpw_count * table2::iact_table_sizes().size() *
+                       table2::memo_in_thresholds().size() * table2::hierarchies().size() * ipt;
+  std::uint64_t perfo = (table2::perfo_skips().size() * 2) * ipt +
+                        (table2::perfo_skip_percents().size() * 2) * ipt;
+  return taf + iact + perfo;
+}
+
+}  // namespace hpac::harness

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pragma/spec.hpp"
+
+namespace hpac::harness {
+
+/// Sweep density. The paper's full Cartesian product is 57,288 configs and
+/// took up to 988 GPU-hours per benchmark; `kQuick` strides each axis so a
+/// sweep covers every parameter dimension in minutes on one CPU core,
+/// `kFull` is the paper's complete grid.
+enum class SweepDensity { kQuick, kFull };
+
+/// The parameter values of Table 2, verbatim.
+namespace table2 {
+
+std::vector<int> taf_history_sizes();         // 1,2,3,4,5
+std::vector<int> taf_prediction_sizes();      // 2,4,8,...,512
+std::vector<double> memo_out_thresholds();    // 0.3,0.6,...,1.5, 3, 5, 20
+std::vector<int> iact_tables_per_warp();      // 1,2,16,32,64 (64: AMD only)
+std::vector<int> iact_table_sizes();          // 1,2,4,8
+std::vector<double> memo_in_thresholds();     // 0.1,0.3,...,0.9, 3, 5, 20
+std::vector<int> perfo_skips();               // 2,4,8,16,32,64 (small/large)
+std::vector<int> perfo_skip_percents();       // 10,20,...,90 (ini/fini)
+std::vector<pragma::HierarchyLevel> hierarchies();  // thread, warp
+std::vector<std::uint64_t> items_per_thread();      // 8,16,32,...,512
+
+}  // namespace table2
+
+/// Generate the TAF spec grid (memo(out:h:p:t) x hierarchy).
+std::vector<pragma::ApproxSpec> taf_specs(SweepDensity density);
+
+/// Generate the iACT spec grid (memo(in:size:thresh:tpw) x hierarchy).
+/// `warp_size` filters tables-per-warp values that exceed the warp
+/// (Table 2: only the AMD platform uses 64 tables per warp).
+std::vector<pragma::ApproxSpec> iact_specs(SweepDensity density, int warp_size);
+
+/// Generate the perforation spec grid (small/large strides, ini/fini
+/// percents; herded on the GPU).
+std::vector<pragma::ApproxSpec> perfo_specs(SweepDensity density);
+
+/// The items-per-thread axis for a density.
+std::vector<std::uint64_t> items_per_thread_axis(SweepDensity density);
+
+/// Curated configuration sets: a dozen-odd hand-picked points per
+/// technique that span Table 2's interesting region (used by the
+/// fixed-budget Figure 6 bench; pass `--full` there for the whole grid).
+std::vector<pragma::ApproxSpec> curated_taf_specs(
+    const std::vector<pragma::HierarchyLevel>& levels);
+std::vector<pragma::ApproxSpec> curated_iact_specs(
+    int warp_size, const std::vector<pragma::HierarchyLevel>& levels);
+std::vector<pragma::ApproxSpec> curated_perfo_specs();
+
+/// Total configuration count of a full sweep for one benchmark on one
+/// platform, for the Table-2 reproduction printout.
+std::uint64_t full_config_count(int warp_size);
+
+}  // namespace hpac::harness

@@ -1,0 +1,51 @@
+#include "harness/record.hpp"
+
+namespace hpac::harness {
+
+void RunRecord::set_spec(const pragma::ApproxSpec& spec) {
+  technique = spec.technique;
+  spec_text = spec.to_string();
+  level = spec.level;
+  if (spec.taf) {
+    history_size = spec.taf->history_size;
+    prediction_size = spec.taf->prediction_size;
+    threshold = spec.taf->rsd_threshold;
+  }
+  if (spec.iact) {
+    table_size = spec.iact->table_size;
+    tables_per_warp = spec.iact->tables_per_warp;
+    threshold = spec.iact->threshold;
+  }
+  if (spec.perfo) {
+    perfo_kind = pragma::perfo_kind_name(spec.perfo->kind);
+    perfo_stride = spec.perfo->stride;
+    perfo_fraction = spec.perfo->fraction;
+  }
+}
+
+void ResultDb::add(RunRecord record) { records_.push_back(std::move(record)); }
+
+CsvTable ResultDb::to_csv() const {
+  CsvTable csv({"benchmark", "device", "technique", "spec", "level", "items_per_thread",
+                "feasible", "note", "speedup", "error_percent", "approx_ratio",
+                "kernel_seconds", "end_to_end_seconds", "iterations", "baseline_iterations",
+                "threshold", "history_size", "prediction_size", "table_size",
+                "tables_per_warp", "perfo_kind", "perfo_stride", "perfo_fraction"});
+  for (const auto& r : records_) {
+    csv.add_row({r.benchmark, r.device, pragma::technique_name(r.technique), r.spec_text,
+                 pragma::hierarchy_name(r.level), static_cast<long long>(r.items_per_thread),
+                 static_cast<long long>(r.feasible ? 1 : 0), r.note, r.speedup,
+                 r.error_percent, r.approx_ratio, r.kernel_seconds, r.end_to_end_seconds,
+                 r.iterations, r.baseline_iterations, r.threshold,
+                 static_cast<long long>(r.history_size),
+                 static_cast<long long>(r.prediction_size),
+                 static_cast<long long>(r.table_size),
+                 static_cast<long long>(r.tables_per_warp), r.perfo_kind,
+                 static_cast<long long>(r.perfo_stride), r.perfo_fraction});
+  }
+  return csv;
+}
+
+void ResultDb::save(const std::string& path) const { to_csv().save(path); }
+
+}  // namespace hpac::harness

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "pragma/spec.hpp"
+
+namespace hpac::harness {
+
+/// One row of the execution harness's result database: a single
+/// (benchmark, platform, approximation configuration) measurement.
+struct RunRecord {
+  std::string benchmark;
+  std::string device;
+  pragma::Technique technique = pragma::Technique::kNone;
+  std::string spec_text;  ///< canonical clause text (ApproxSpec::to_string)
+  pragma::HierarchyLevel level = pragma::HierarchyLevel::kThread;
+  std::uint64_t items_per_thread = 1;
+
+  bool feasible = true;     ///< false when the config cannot run (e.g. AC state too big)
+  std::string note;         ///< infeasibility reason or free-form remark
+
+  double speedup = 0;         ///< baseline time / approximated time
+  double error_percent = 0;   ///< MAPE or MCR vs the accurate program
+  double approx_ratio = 0;    ///< fraction of items approximated/skipped
+  double kernel_seconds = 0;
+  double end_to_end_seconds = 0;
+  double iterations = 0;        ///< solver iterations (K-Means convergence)
+  double baseline_iterations = 0;
+
+  // Technique parameters, denormalized for easy filtering/plotting.
+  double threshold = 0;
+  int history_size = 0;
+  int prediction_size = 0;
+  int table_size = 0;
+  int tables_per_warp = 0;
+  std::string perfo_kind;
+  int perfo_stride = 0;
+  double perfo_fraction = 0;
+
+  /// Populate the denormalized parameter fields from a spec.
+  void set_spec(const pragma::ApproxSpec& spec);
+};
+
+/// Append-only database of run records, persistable as CSV — the library
+/// analogue of the HPAC harness's results database (paper §2.3).
+class ResultDb {
+ public:
+  void add(RunRecord record);
+  const std::vector<RunRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// Records matching a predicate.
+  template <typename Pred>
+  std::vector<RunRecord> where(Pred&& pred) const {
+    std::vector<RunRecord> out;
+    for (const auto& r : records_) {
+      if (pred(r)) out.push_back(r);
+    }
+    return out;
+  }
+
+  /// Export to CSV (one column per RunRecord field).
+  CsvTable to_csv() const;
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<RunRecord> records_;
+};
+
+}  // namespace hpac::harness

@@ -1,0 +1,28 @@
+#include "offload/device.hpp"
+
+namespace hpac::offload {
+
+Device::Device(sim::DeviceConfig config) : config_(std::move(config)) {}
+
+void Device::record_htod(std::uint64_t bytes) {
+  timeline_.htod_seconds += config_.transfer_seconds(bytes);
+}
+
+void Device::record_dtoh(std::uint64_t bytes) {
+  timeline_.dtoh_seconds += config_.transfer_seconds(bytes);
+}
+
+void Device::record_host(double seconds) { timeline_.host_seconds += seconds; }
+
+void Device::reset() { timeline_ = Timeline{}; }
+
+MapScope::MapScope(Device& device, std::uint64_t bytes, MapDir dir)
+    : device_(device), bytes_(bytes), dir_(dir) {
+  if (dir == MapDir::kTo || dir == MapDir::kToFrom) device_.record_htod(bytes_);
+}
+
+MapScope::~MapScope() {
+  if (dir_ == MapDir::kFrom || dir_ == MapDir::kToFrom) device_.record_dtoh(bytes_);
+}
+
+}  // namespace hpac::offload

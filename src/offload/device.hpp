@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/device.hpp"
+
+namespace hpac::offload {
+
+/// Wall-clock decomposition of an offloaded application run. The paper
+/// reports *end-to-end* speedups including transfer time for every
+/// benchmark except Blackscholes, whose §4.1 analysis uses kernel time
+/// only because 99% of its runtime is allocation + transfer.
+struct Timeline {
+  double htod_seconds = 0;    ///< host-to-device map(to:) traffic
+  double dtoh_seconds = 0;    ///< device-to-host map(from:) traffic
+  double kernel_seconds = 0;  ///< sum of modeled kernel times
+  double host_seconds = 0;    ///< host-side (un-offloaded) work
+
+  double end_to_end_seconds() const {
+    return htod_seconds + dtoh_seconds + kernel_seconds + host_seconds;
+  }
+
+  Timeline& operator+=(const Timeline& other) {
+    htod_seconds += other.htod_seconds;
+    dtoh_seconds += other.dtoh_seconds;
+    kernel_seconds += other.kernel_seconds;
+    host_seconds += other.host_seconds;
+    return *this;
+  }
+};
+
+/// A simulated offload target: a `sim::DeviceConfig` plus the transfer
+/// ledger that `map` operations charge into.
+class Device {
+ public:
+  explicit Device(sim::DeviceConfig config);
+
+  const sim::DeviceConfig& config() const { return config_; }
+  Timeline& timeline() { return timeline_; }
+  const Timeline& timeline() const { return timeline_; }
+
+  /// Charge a host-to-device transfer of `bytes` (a `map(to:)` section).
+  void record_htod(std::uint64_t bytes);
+  /// Charge a device-to-host transfer of `bytes` (a `map(from:)` section).
+  void record_dtoh(std::uint64_t bytes);
+  /// Charge host-side computation time (for end-to-end accounting).
+  void record_host(double seconds);
+
+  /// Zero the timeline (e.g. between harness trials).
+  void reset();
+
+ private:
+  sim::DeviceConfig config_;
+  Timeline timeline_;
+};
+
+/// Map directionality of a buffer section (OpenMP `map` modifiers).
+enum class MapDir { kTo, kFrom, kToFrom, kAlloc };
+
+/// RAII mapping of a host array section onto the device, mirroring
+/// OpenMP's structured `map` regions: `to`/`tofrom` transfers are charged
+/// on entry, `from`/`tofrom` on exit. The data itself stays in host memory
+/// (the simulator executes functionally); only time is modeled.
+class MapScope {
+ public:
+  MapScope(Device& device, std::uint64_t bytes, MapDir dir);
+  ~MapScope();
+
+  MapScope(const MapScope&) = delete;
+  MapScope& operator=(const MapScope&) = delete;
+
+ private:
+  Device& device_;
+  std::uint64_t bytes_;
+  MapDir dir_;
+};
+
+}  // namespace hpac::offload

@@ -1,0 +1,39 @@
+#include "offload/target.hpp"
+
+#include "pragma/parser.hpp"
+
+namespace hpac::offload {
+
+approx::RegionReport target_parallel_for(Device& device,
+                                         const approx::RegionExecutor& executor,
+                                         const pragma::ApproxSpec& spec,
+                                         const approx::RegionBinding& binding, std::uint64_t n,
+                                         const sim::LaunchConfig& launch) {
+  approx::RegionReport report = executor.run(spec, binding, n, launch);
+  device.timeline().kernel_seconds += report.timing.seconds;
+  return report;
+}
+
+approx::RegionReport target_parallel_for(Device& device,
+                                         const approx::RegionExecutor& executor,
+                                         std::string_view spec_text,
+                                         const approx::RegionBinding& binding, std::uint64_t n,
+                                         const sim::LaunchConfig& launch) {
+  return target_parallel_for(device, executor, pragma::parse_approx(spec_text), binding, n,
+                             launch);
+}
+
+approx::RegionReport target_parallel_for(Device& device,
+                                         const approx::RegionExecutor& executor,
+                                         std::string_view perfo_text,
+                                         std::string_view memo_text,
+                                         const approx::RegionBinding& binding, std::uint64_t n,
+                                         const sim::LaunchConfig& launch) {
+  approx::RegionReport report =
+      executor.run_composed(pragma::parse_approx(perfo_text), pragma::parse_approx(memo_text),
+                            binding, n, launch);
+  device.timeline().kernel_seconds += report.timing.seconds;
+  return report;
+}
+
+}  // namespace hpac::offload

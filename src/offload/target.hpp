@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "approx/region.hpp"
+#include "offload/device.hpp"
+#include "pragma/spec.hpp"
+#include "sim/launch.hpp"
+
+namespace hpac::offload {
+
+/// Launch an annotated `target teams distribute parallel for` over items
+/// [0, n): the library equivalent of
+///
+///   #pragma approx <spec-clauses>
+///   #pragma omp target teams distribute parallel for
+///   for (size_t i = 0; i < n; ++i) { <region> }
+///
+/// Kernel time is added to the device timeline; the region report (timing
+/// + approximation counters) is returned for the caller's bookkeeping.
+approx::RegionReport target_parallel_for(Device& device,
+                                         const approx::RegionExecutor& executor,
+                                         const pragma::ApproxSpec& spec,
+                                         const approx::RegionBinding& binding, std::uint64_t n,
+                                         const sim::LaunchConfig& launch);
+
+/// Convenience overload that parses the clause text on the fly, so call
+/// sites read like the paper's pragmas:
+///
+///   target_parallel_for(dev, exec, "memo(out:3:8:0.5) level(warp)", ...);
+approx::RegionReport target_parallel_for(Device& device,
+                                         const approx::RegionExecutor& executor,
+                                         std::string_view spec_text,
+                                         const approx::RegionBinding& binding, std::uint64_t n,
+                                         const sim::LaunchConfig& launch);
+
+/// Composed directives (the paper's Figure 2): perforation on the loop,
+/// memoization on the body —
+///
+///   target_parallel_for(dev, exec, "perfo(small:4)",
+///                       "memo(in:10:0.5f) in(x[i]) out(y[i])", ...);
+approx::RegionReport target_parallel_for(Device& device,
+                                         const approx::RegionExecutor& executor,
+                                         std::string_view perfo_text,
+                                         std::string_view memo_text,
+                                         const approx::RegionBinding& binding, std::uint64_t n,
+                                         const sim::LaunchConfig& launch);
+
+}  // namespace hpac::offload

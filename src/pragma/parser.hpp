@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string_view>
+
+#include "pragma/spec.hpp"
+
+namespace hpac::pragma {
+
+/// Parse the clause list of an HPAC-Offload `approx` directive.
+///
+/// Accepted grammar (paper §3.2, Figures 2 and 5):
+///
+///   directive := clause*
+///   clause    := 'memo' '(' memo-args ')'
+///              | 'perfo' '(' perfo-args ')'
+///              | 'level' '(' ('thread'|'warp'|'team'|'block') ')'
+///              | 'herded' [ '(' ('0'|'1') ')' ]
+///              | 'in' '(' sections ')'
+///              | 'out' '(' sections ')'
+///              | 'label' '(' ident ')'
+///              | 'none'
+///   memo-args := 'out' ':' hSize ':' pSize ':' rsdThreshold
+///              | 'in' ':' tSize ':' threshold [ ':' tablesPerWarp ]
+///   perfo-args:= ('small'|'large') ':' stride
+///              | ('ini'|'fini') ':' fraction
+///
+/// Numeric literals accept a trailing `f` as in the paper's examples
+/// (`0.5f`). The leading `#pragma approx` text is optional and skipped if
+/// present. Throws hpac::ParseError with a position-annotated message on
+/// malformed input; the returned spec has been validate()d.
+ApproxSpec parse_approx(std::string_view text);
+
+}  // namespace hpac::pragma

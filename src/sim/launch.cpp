@@ -1,0 +1,41 @@
+#include "sim/launch.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hpac::sim {
+
+void LaunchConfig::validate(const DeviceConfig& dev) const {
+  if (num_teams == 0) throw ConfigError("num_teams must be positive");
+  if (threads_per_team == 0) throw ConfigError("threads_per_team must be positive");
+  const std::uint32_t max_threads_per_block = 1024;
+  if (threads_per_team > max_threads_per_block) {
+    throw ConfigError(strings::format("threads_per_team %u exceeds block limit %u",
+                                      threads_per_team, max_threads_per_block));
+  }
+  if (warps_per_team(dev) > static_cast<std::uint32_t>(dev.max_warps_per_sm)) {
+    throw ConfigError("a single team exceeds the SM's resident warp capacity");
+  }
+}
+
+LaunchConfig launch_for_items_per_thread(std::uint64_t n, std::uint64_t items_per_thread,
+                                         std::uint32_t threads_per_team) {
+  HPAC_REQUIRE(n > 0, "empty iteration space");
+  HPAC_REQUIRE(items_per_thread > 0, "items_per_thread must be positive");
+  HPAC_REQUIRE(threads_per_team > 0, "threads_per_team must be positive");
+  const std::uint64_t threads_needed =
+      std::max<std::uint64_t>(1, (n + items_per_thread - 1) / items_per_thread);
+  LaunchConfig cfg;
+  // Extreme items-per-thread values (Figure 8c sweeps up to 16384) need
+  // fewer threads than one team; shrink the team instead of silently
+  // granting more parallelism than requested.
+  cfg.threads_per_team = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(threads_per_team, threads_needed));
+  cfg.num_teams = std::max<std::uint64_t>(
+      1, (threads_needed + cfg.threads_per_team - 1) / cfg.threads_per_team);
+  return cfg;
+}
+
+}  // namespace hpac::sim

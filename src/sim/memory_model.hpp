@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/device.hpp"
+#include "sim/warp.hpp"
+
+namespace hpac::sim {
+
+/// Global-memory coalescing model.
+///
+/// A warp's lane accesses are combined into memory transactions of
+/// `DeviceConfig::transaction_bytes`; the number of transactions is the
+/// number of distinct segments touched by active lanes (CUDA's sector
+/// model). Perforation and divergence change which lanes are active, which
+/// is how "herded" perforation keeps transactions aligned (paper §3.1.5)
+/// while per-thread `small` perforation fragments them.
+class CoalescingModel {
+ public:
+  explicit CoalescingModel(const DeviceConfig& dev) : segment_bytes_(dev.transaction_bytes) {}
+
+  /// Transactions for explicit lane byte-addresses under an active mask.
+  std::uint32_t transactions(std::span<const std::uint64_t> lane_addresses,
+                             LaneMask active) const;
+
+  /// Transactions for the common pattern "active lane l accesses
+  /// base + (item_of_lane l) * elem_bytes" where items are consecutive for
+  /// consecutive lanes (unit-stride) — the layout of a grid-stride loop.
+  std::uint32_t unit_stride_transactions(std::uint64_t first_item, std::uint32_t elem_bytes,
+                                         LaneMask active, int warp_size) const;
+
+  /// Transactions when each active lane accesses `elems_per_lane`
+  /// consecutive elements with a stride of `stride_elems` between lanes
+  /// (column-major layouts as in Figure 5's array sections).
+  std::uint32_t strided_transactions(std::uint32_t elem_bytes, std::uint32_t elems_per_lane,
+                                     std::uint64_t stride_elems, LaneMask active,
+                                     int warp_size) const;
+
+  std::uint32_t segment_bytes() const { return segment_bytes_; }
+
+ private:
+  std::uint32_t segment_bytes_;
+};
+
+}  // namespace hpac::sim

@@ -1,0 +1,42 @@
+#include "sim/shared_memory.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hpac::sim {
+
+SharedMemoryArena::SharedMemoryArena(const DeviceConfig& dev)
+    : capacity_(dev.shared_mem_per_block) {}
+
+void SharedMemoryArena::charge(std::size_t bytes) {
+  if (bytes_used_ + bytes > capacity_) {
+    throw ConfigError(strings::format(
+        "shared memory exhausted: %zu bytes requested, %zu of %zu in use; "
+        "reduce table size, history size, or threads per team",
+        bytes, bytes_used_, capacity_));
+  }
+  bytes_used_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, bytes_used_);
+}
+
+std::span<double> SharedMemoryArena::alloc_doubles(std::size_t count) {
+  charge(count * sizeof(double));
+  double_chunks_.emplace_back(count, 0.0);
+  return std::span<double>(double_chunks_.back());
+}
+
+std::span<std::int32_t> SharedMemoryArena::alloc_ints(std::size_t count) {
+  charge(count * sizeof(std::int32_t));
+  int_chunks_.emplace_back(count, 0);
+  return std::span<std::int32_t>(int_chunks_.back());
+}
+
+void SharedMemoryArena::reset() {
+  bytes_used_ = 0;
+  double_chunks_.clear();
+  int_chunks_.clear();
+}
+
+}  // namespace hpac::sim

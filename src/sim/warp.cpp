@@ -1,0 +1,47 @@
+#include "sim/warp.hpp"
+
+#include "common/error.hpp"
+
+namespace hpac::sim {
+
+LaneMask ballot(std::span<const bool> predicates, LaneMask active) {
+  HPAC_REQUIRE(predicates.size() <= 64, "warp size exceeds 64 lanes");
+  LaneMask result = 0;
+  for (std::size_t lane = 0; lane < predicates.size(); ++lane) {
+    if (lane_active(active, static_cast<int>(lane)) && predicates[lane]) {
+      result = with_lane(result, static_cast<int>(lane));
+    }
+  }
+  return result;
+}
+
+int first_lane(LaneMask mask) {
+  if (mask == 0) return -1;
+  return std::countr_zero(mask);
+}
+
+void WarpLedger::charge_paths(std::span<const double> path_cycles) {
+  int taken = 0;
+  for (double cycles : path_cycles) {
+    if (cycles > 0.0) {
+      compute_cycles_ += cycles;
+      ++taken;
+    }
+  }
+  if (taken > 1) ++divergent_regions_;
+}
+
+void WarpLedger::charge_compute(double cycles) { compute_cycles_ += cycles; }
+
+void WarpLedger::charge_memory(std::uint32_t transactions, std::uint32_t rounds) {
+  transactions_ += transactions;
+  memory_rounds_ += rounds;
+}
+
+void WarpLedger::charge_shared(std::uint32_t accesses, double cycles_per_access) {
+  compute_cycles_ += accesses * cycles_per_access;
+}
+
+void WarpLedger::charge_barrier(double cycles) { compute_cycles_ += cycles; }
+
+}  // namespace hpac::sim

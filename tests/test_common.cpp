@@ -1,0 +1,245 @@
+// Unit tests for the common substrate: RNG determinism, statistics,
+// CSV/table output and string utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+using namespace hpac;
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroIsDeterministicAcrossInstances) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexIsUnbiasedEnough) {
+  Xoshiro256 rng(5);
+  std::array<int, 7> counts{};
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) EXPECT_NEAR(c, draws / 7.0, draws / 7.0 * 0.1);
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Xoshiro256 rng(6);
+  stats::RunningStats acc;
+  for (int i = 0; i < 100000; ++i) acc.push(rng.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.02);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.02);
+}
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stats::variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stats::stddev(xs), std::sqrt(1.25));
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(stats::mean({}), 0.0); }
+
+TEST(Stats, RsdMatchesPaperDefinition) {
+  // RSD = sigma / mu (population); constant data has RSD 0.
+  const std::vector<double> constant{5, 5, 5};
+  EXPECT_DOUBLE_EQ(stats::rsd(constant), 0.0);
+  const std::vector<double> xs{9, 10, 11};
+  EXPECT_NEAR(stats::rsd(xs), std::sqrt(2.0 / 3.0) / 10.0, 1e-12);
+}
+
+TEST(Stats, RsdOfZeroMeanIsInfinite) {
+  const std::vector<double> xs{-1, 1};
+  EXPECT_TRUE(std::isinf(stats::rsd(xs)));
+  const std::vector<double> zeros{0, 0};
+  EXPECT_DOUBLE_EQ(stats::rsd(zeros), 0.0);
+}
+
+TEST(Stats, GeomeanOfPowers) {
+  const std::vector<double> xs{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::geomean(xs), 2.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW(stats::geomean(xs), Error);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 50), 25);
+}
+
+TEST(Stats, BoxStatsOrdering) {
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(i);
+  const auto box = stats::box_stats(xs);
+  EXPECT_LE(box.min, box.q1);
+  EXPECT_LE(box.q1, box.median);
+  EXPECT_LE(box.median, box.q3);
+  EXPECT_LE(box.q3, box.max);
+  EXPECT_DOUBLE_EQ(box.median, 50.5);
+}
+
+TEST(Stats, PerfectLinearRegression) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};  // y = 1 + 2x
+  const auto r = stats::linear_regression(x, y);
+  EXPECT_NEAR(r.slope, 2.0, 1e-12);
+  EXPECT_NEAR(r.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(r.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, NoisyRegressionHasR2BelowOne) {
+  std::vector<double> x, y;
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + 10.0 * rng.normal());
+  }
+  const auto r = stats::linear_regression(x, y);
+  EXPECT_GT(r.r2, 0.9);
+  EXPECT_LT(r.r2, 1.0);
+}
+
+TEST(Stats, MapeMatchesPaperEquationOne) {
+  const std::vector<double> acc{10, 20};
+  const std::vector<double> apx{11, 18};
+  // (|10-11|/10 + |20-18|/20)/2 = (0.1 + 0.1)/2 = 0.1 -> 10%
+  EXPECT_NEAR(stats::mape_percent(acc, apx), 10.0, 1e-12);
+}
+
+TEST(Stats, MapeSkipsZeroReferences) {
+  const std::vector<double> acc{0, 10};
+  const std::vector<double> apx{5, 10};
+  EXPECT_DOUBLE_EQ(stats::mape_percent(acc, apx), 0.0);
+}
+
+TEST(Stats, McrMatchesPaperEquationTwo) {
+  const std::vector<int> acc{1, 2, 3, 4};
+  const std::vector<int> apx{1, 2, 9, 9};
+  EXPECT_DOUBLE_EQ(stats::mcr_percent(acc, apx), 50.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Xoshiro256 rng(9);
+  std::vector<double> xs;
+  stats::RunningStats acc;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(0, 100);
+    xs.push_back(v);
+    acc.push(v);
+  }
+  EXPECT_NEAR(acc.mean(), stats::mean(xs), 1e-9);
+  EXPECT_NEAR(acc.variance(), stats::variance(xs), 1e-6);
+}
+
+TEST(Csv, RoundTripAndAccessors) {
+  CsvTable t({"name", "value"});
+  t.add_row({std::string("a"), 1.5});
+  t.add_row({std::string("b"), static_cast<long long>(7)});
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.number_at(0, "value"), 1.5);
+  EXPECT_DOUBLE_EQ(t.number_at(1, 1), 7.0);
+  EXPECT_EQ(std::get<std::string>(t.at(0, 0)), "a");
+}
+
+TEST(Csv, RejectsWrongRowWidth) {
+  CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), Error);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  CsvTable t({"text"});
+  t.add_row({std::string("hello, \"world\"")});
+  std::ostringstream os;
+  t.write(os);
+  EXPECT_NE(os.str().find("\"hello, \"\"world\"\"\""), std::string::npos);
+}
+
+TEST(Csv, UnknownColumnThrows) {
+  CsvTable t({"a"});
+  EXPECT_THROW(t.column_index("missing"), Error);
+}
+
+TEST(Strings, TrimRemovesWhitespace) {
+  EXPECT_EQ(strings::trim("  hi \t\n"), "hi");
+  EXPECT_EQ(strings::trim(""), "");
+  EXPECT_EQ(strings::trim("   "), "");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = strings::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, ParseIntStrict) {
+  long long v = 0;
+  EXPECT_TRUE(strings::parse_int("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_FALSE(strings::parse_int("42x", v));
+  EXPECT_FALSE(strings::parse_int("", v));
+}
+
+TEST(Strings, ParseDoubleAcceptsFloatSuffix) {
+  double v = 0;
+  EXPECT_TRUE(strings::parse_double("0.5f", v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(strings::parse_double("1e-3", v));
+  EXPECT_FALSE(strings::parse_double("abc", v));
+}
+
+TEST(Strings, FormatBehavesLikePrintf) {
+  EXPECT_EQ(strings::format("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long_header"});
+  t.add_row({"xxxx", "1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxx"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), Error);
+}

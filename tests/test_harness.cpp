@@ -1,0 +1,230 @@
+// Tests for the exploration harness: Table-2 grids, the explorer's
+// baseline/speedup bookkeeping, infeasible-config handling and the
+// analysis helpers behind Figures 6, 11c and 12c.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/analysis.hpp"
+#include "pragma/parser.hpp"
+#include "harness/explorer.hpp"
+#include "harness/params.hpp"
+#include "sim/device.hpp"
+
+using namespace hpac;
+using namespace hpac::harness;
+
+TEST(Table2, AxesMatchThePaper) {
+  EXPECT_EQ(table2::taf_history_sizes(), (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(table2::taf_prediction_sizes(),
+            (std::vector<int>{2, 4, 8, 16, 32, 64, 128, 256, 512}));
+  EXPECT_EQ(table2::memo_out_thresholds(),
+            (std::vector<double>{0.3, 0.6, 0.9, 1.2, 1.5, 3.0, 5.0, 20.0}));
+  EXPECT_EQ(table2::iact_tables_per_warp(), (std::vector<int>{1, 2, 16, 32, 64}));
+  EXPECT_EQ(table2::iact_table_sizes(), (std::vector<int>{1, 2, 4, 8}));
+  EXPECT_EQ(table2::perfo_skips(), (std::vector<int>{2, 4, 8, 16, 32, 64}));
+  EXPECT_EQ(table2::perfo_skip_percents().size(), 9u);
+  EXPECT_EQ(table2::items_per_thread(),
+            (std::vector<std::uint64_t>{8, 16, 32, 64, 128, 256, 512}));
+}
+
+TEST(Table2, SixtyFourTablesPerWarpIsAmdOnly) {
+  for (const auto& spec : iact_specs(SweepDensity::kFull, 32)) {
+    EXPECT_LE(spec.iact->tables_per_warp, 32);
+  }
+  bool found64 = false;
+  for (const auto& spec : iact_specs(SweepDensity::kFull, 64)) {
+    found64 = found64 || spec.iact->tables_per_warp == 64;
+  }
+  EXPECT_TRUE(found64);
+}
+
+TEST(Table2, QuickGridsCoverAxisEndpoints) {
+  const auto quick = taf_specs(SweepDensity::kQuick);
+  const auto full = taf_specs(SweepDensity::kFull);
+  EXPECT_LT(quick.size(), full.size());
+  bool has_min_thr = false, has_max_thr = false;
+  for (const auto& spec : quick) {
+    has_min_thr = has_min_thr || spec.taf->rsd_threshold == 0.3;
+    has_max_thr = has_max_thr || spec.taf->rsd_threshold == 20.0;
+  }
+  EXPECT_TRUE(has_min_thr);
+  EXPECT_TRUE(has_max_thr);
+}
+
+TEST(Table2, AllGeneratedSpecsValidate) {
+  for (const auto& spec : taf_specs(SweepDensity::kFull)) EXPECT_NO_THROW(spec.validate());
+  for (const auto& spec : iact_specs(SweepDensity::kFull, 64)) EXPECT_NO_THROW(spec.validate());
+  for (const auto& spec : perfo_specs(SweepDensity::kFull)) EXPECT_NO_THROW(spec.validate());
+  for (const auto& spec : curated_taf_specs(table2::hierarchies())) {
+    EXPECT_NO_THROW(spec.validate());
+  }
+  for (const auto& spec : curated_iact_specs(32, table2::hierarchies())) {
+    EXPECT_NO_THROW(spec.validate());
+  }
+  for (const auto& spec : curated_perfo_specs()) EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(Table2, FullConfigCountIsPaperScale) {
+  // The paper explored 57,288 configurations across 7 benchmarks and two
+  // platforms; one benchmark on both platforms lands in the same order of
+  // magnitude.
+  const auto both = full_config_count(32) + full_config_count(64);
+  EXPECT_GT(both, 8000u);
+  EXPECT_LT(both, 60000u);
+}
+
+namespace {
+
+/// A deterministic synthetic benchmark for harness tests: quadratic
+/// region with strong grid-stride locality.
+class ToyBenchmark : public Benchmark {
+ public:
+  std::string name() const override { return "toy"; }
+
+  RunOutput run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
+                const sim::DeviceConfig& device) override {
+    const std::uint64_t n = 1 << 12;
+    offload::Device dev(device);
+    approx::RegionExecutor executor(device);
+    std::vector<double> out(n, 0.0);
+    approx::RegionBinding binding;
+    binding.in_dims = 1;
+    binding.out_dims = 1;
+    binding.gather = [](std::uint64_t i, std::span<double> in) {
+      in[0] = static_cast<double>(i % 5);
+    };
+    binding.accurate = [](std::uint64_t i, std::span<const double>, std::span<double> o) {
+      o[0] = 10.0 + static_cast<double>(i % 5);
+    };
+    binding.accurate_cost = [](std::uint64_t) { return 100.0; };
+    binding.commit = [&out](std::uint64_t i, std::span<const double> o) { out[i] = o[0]; };
+    const sim::LaunchConfig launch =
+        sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());
+    RunOutput output;
+    const auto report = executor.run(spec, binding, n, launch);
+    output.timeline.kernel_seconds = report.timing.seconds;
+    output.stats = report.stats;
+    output.qoi = std::move(out);
+    output.iterations = 10;
+    return output;
+  }
+};
+
+}  // namespace
+
+TEST(Explorer, BaselineSpeedupIsOne) {
+  ToyBenchmark toy;
+  Explorer explorer(toy, sim::v100());
+  pragma::ApproxSpec none;
+  const auto record = explorer.run_config(none, toy.default_items_per_thread());
+  EXPECT_NEAR(record.speedup, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(record.error_percent, 0.0);
+}
+
+TEST(Explorer, InfeasibleConfigIsRecordedNotThrown) {
+  ToyBenchmark toy;
+  Explorer explorer(toy, sim::v100());
+  const auto spec = pragma::parse_approx("memo(in:4:0.5:3) in(x) out(y)");  // 3 !| 32
+  const auto record = explorer.run_config(spec, 8);
+  EXPECT_FALSE(record.feasible);
+  EXPECT_NE(record.note.find("tables per warp"), std::string::npos);
+}
+
+TEST(Explorer, SweepFillsDatabase) {
+  ToyBenchmark toy;
+  Explorer explorer(toy, sim::v100());
+  const auto specs = curated_perfo_specs();
+  const std::size_t feasible = explorer.sweep(specs, {1, 8});
+  EXPECT_EQ(explorer.db().size(), specs.size() * 2);
+  EXPECT_EQ(feasible, specs.size() * 2);
+}
+
+TEST(Explorer, RecordsDenormalizedParameters) {
+  ToyBenchmark toy;
+  Explorer explorer(toy, sim::v100());
+  const auto record =
+      explorer.run_config(pragma::parse_approx("memo(out:4:32:1.5) level(warp)"), 8);
+  EXPECT_EQ(record.history_size, 4);
+  EXPECT_EQ(record.prediction_size, 32);
+  EXPECT_DOUBLE_EQ(record.threshold, 1.5);
+  EXPECT_EQ(record.level, pragma::HierarchyLevel::kWarp);
+  EXPECT_EQ(record.technique, pragma::Technique::kTafMemo);
+}
+
+TEST(Analysis, BestUnderErrorPicksFastestQualifying) {
+  std::vector<RunRecord> records(3);
+  records[0].speedup = 3.0;
+  records[0].error_percent = 15.0;  // too lossy
+  records[1].speedup = 2.0;
+  records[1].error_percent = 5.0;
+  records[2].speedup = 1.5;
+  records[2].error_percent = 1.0;
+  const auto best = best_under_error(records, 10.0);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->speedup, 2.0);
+}
+
+TEST(Analysis, BestUnderErrorSkipsInfeasible) {
+  std::vector<RunRecord> records(1);
+  records[0].speedup = 9.0;
+  records[0].error_percent = 0.0;
+  records[0].feasible = false;
+  EXPECT_FALSE(best_under_error(records, 10.0).has_value());
+}
+
+TEST(Analysis, DecimateKeepsExtremesPerBin) {
+  std::vector<RunRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    RunRecord r;
+    r.error_percent = static_cast<double>(i % 10);
+    r.speedup = static_cast<double>(i);
+    records.push_back(r);
+  }
+  const auto kept = decimate_for_plot(records, 10, 0.10);
+  EXPECT_LT(kept.size(), records.size());
+  EXPECT_FALSE(kept.empty());
+}
+
+TEST(Analysis, ConvergenceCorrelationPerfectLine) {
+  std::vector<RunRecord> records;
+  for (int i = 1; i <= 10; ++i) {
+    RunRecord r;
+    r.baseline_iterations = 100;
+    r.iterations = 100.0 / i;
+    r.speedup = static_cast<double>(i);
+    records.push_back(r);
+  }
+  const auto corr = convergence_correlation(records);
+  EXPECT_NEAR(corr.regression.r2, 1.0, 1e-9);
+  EXPECT_NEAR(corr.regression.slope, 1.0, 1e-9);
+}
+
+TEST(Analysis, GeomeanBestTakesPerTechniqueBest) {
+  std::vector<RunRecord> records(3);
+  records[0].benchmark = "a";
+  records[0].technique = pragma::Technique::kTafMemo;
+  records[0].speedup = 2.0;
+  records[0].error_percent = 1.0;
+  records[1] = records[0];
+  records[1].speedup = 4.0;  // better; should be the one counted
+  records[2].benchmark = "b";
+  records[2].technique = pragma::Technique::kPerforation;
+  records[2].speedup = 1.0;
+  records[2].error_percent = 2.0;
+  EXPECT_NEAR(geomean_best_speedup(records, 10.0), std::sqrt(4.0 * 1.0), 1e-12);
+}
+
+TEST(ResultDb, CsvExportHasAllRows) {
+  ResultDb db;
+  RunRecord r;
+  r.benchmark = "x";
+  r.spec_text = "perfo(small:2)";
+  db.add(r);
+  db.add(r);
+  const auto csv = db.to_csv();
+  EXPECT_EQ(csv.row_count(), 2u);
+  EXPECT_NO_THROW(csv.column_index("speedup"));
+  EXPECT_NO_THROW(csv.column_index("error_percent"));
+}

@@ -1,0 +1,74 @@
+// Tests for the hierarchical (majority-rules) decision machinery.
+
+#include <gtest/gtest.h>
+
+#include "approx/hierarchy.hpp"
+
+using namespace hpac;
+using namespace hpac::approx;
+using sim::full_mask;
+
+TEST(Hierarchy, StrictMajorityRequired) {
+  // 16 of 32: not a strict majority.
+  EXPECT_FALSE(warp_majority(0x0000FFFFull, full_mask(32)));
+  // 17 of 32: majority.
+  EXPECT_TRUE(warp_majority(0x0001FFFFull, full_mask(32)));
+}
+
+TEST(Hierarchy, OnlyActiveLanesCount) {
+  // 4 wishes among 6 active lanes: majority even though the warp has 32.
+  const sim::LaneMask active = 0b111111;
+  const sim::LaneMask wishes = 0b001111;
+  EXPECT_TRUE(warp_majority(wishes, active));
+  EXPECT_FALSE(warp_majority(0b000011, active));
+}
+
+TEST(Hierarchy, WishesOutsideActiveAreIgnored) {
+  const sim::LaneMask active = 0b0011;
+  const sim::LaneMask wishes = 0b1100;  // only inactive lanes wish
+  EXPECT_FALSE(warp_majority(wishes, active));
+}
+
+TEST(Hierarchy, EmptyWarpNeverApproximates) {
+  EXPECT_FALSE(warp_majority(0, 0));
+}
+
+TEST(Hierarchy, SingleLaneWarp) {
+  EXPECT_TRUE(warp_majority(1, 1));
+  EXPECT_FALSE(warp_majority(0, 1));
+}
+
+TEST(Hierarchy, BlockTallyAggregatesWarps) {
+  BlockTally tally;
+  tally.add(0x0000FFFFull, full_mask(32));  // 16/32
+  tally.add(full_mask(32), full_mask(32));  // 32/32
+  EXPECT_EQ(tally.wish_count(), 48);
+  EXPECT_EQ(tally.active_count(), 64);
+  EXPECT_TRUE(tally.majority());  // 48 of 64
+}
+
+TEST(Hierarchy, BlockTallyMajorityIsStrict) {
+  BlockTally tally;
+  tally.add(0x0000FFFFull, full_mask(32));
+  tally.add(0x0000FFFFull, full_mask(32));
+  EXPECT_EQ(tally.wish_count(), 32);
+  EXPECT_EQ(tally.active_count(), 64);
+  EXPECT_FALSE(tally.majority());  // exactly half is not a majority
+  tally.add(0b1, 0b1);
+  EXPECT_TRUE(tally.majority());  // 33 of 65
+}
+
+TEST(Hierarchy, BlockTallyReset) {
+  BlockTally tally;
+  tally.add(full_mask(32), full_mask(32));
+  tally.reset();
+  EXPECT_EQ(tally.wish_count(), 0);
+  EXPECT_EQ(tally.active_count(), 0);
+  EXPECT_FALSE(tally.majority());
+}
+
+TEST(Hierarchy, SixtyFourLaneWavefront) {
+  // AMD wavefronts: 64 lanes.
+  EXPECT_FALSE(warp_majority(0xFFFFFFFFull, full_mask(64)));          // 32/64
+  EXPECT_TRUE(warp_majority(0x1FFFFFFFFull, full_mask(64)));          // 33/64
+}

@@ -1,0 +1,191 @@
+// Tests for iACT tables: lookup, insertion, replacement policies and
+// storage accounting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "approx/iact.hpp"
+#include "common/error.hpp"
+
+using namespace hpac;
+using namespace hpac::approx;
+
+namespace {
+struct TableFixture {
+  std::vector<double> storage;
+  IactTable make(int tsize, int in_dims, int out_dims,
+                 Replacement policy = Replacement::kRoundRobin) {
+    storage.assign(IactTable::storage_doubles(tsize, in_dims, out_dims), 0.0);
+    return IactTable(tsize, in_dims, out_dims, policy, storage);
+  }
+};
+}  // namespace
+
+TEST(Euclidean, MatchesHandComputation) {
+  const std::vector<double> a{0, 0, 0};
+  const std::vector<double> b{1, 2, 2};
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, a), 0.0);
+}
+
+TEST(Euclidean, SizeMismatchThrows) {
+  const std::vector<double> a{1};
+  const std::vector<double> b{1, 2};
+  EXPECT_THROW(euclidean_distance(a, b), Error);
+}
+
+TEST(Iact, EmptyTableHasNoMatch) {
+  TableFixture f;
+  auto table = f.make(4, 2, 1);
+  const std::vector<double> probe{1, 1};
+  EXPECT_FALSE(table.find_nearest(probe).valid());
+  EXPECT_EQ(table.valid_count(), 0);
+}
+
+TEST(Iact, ExactHitAfterInsert) {
+  TableFixture f;
+  auto table = f.make(4, 2, 1);
+  const std::vector<double> in{1, 2};
+  const std::vector<double> out{42};
+  table.insert(in, out);
+  const auto match = table.find_nearest(in);
+  ASSERT_TRUE(match.valid());
+  EXPECT_DOUBLE_EQ(match.distance, 0.0);
+  EXPECT_DOUBLE_EQ(table.output_at(match.index)[0], 42.0);
+}
+
+TEST(Iact, NearestOfSeveralEntries) {
+  TableFixture f;
+  auto table = f.make(4, 1, 1);
+  for (double x : {0.0, 10.0, 20.0}) {
+    const std::vector<double> in{x};
+    const std::vector<double> out{x * 2};
+    table.insert(in, out);
+  }
+  const std::vector<double> probe{12.0};
+  const auto match = table.find_nearest(probe);
+  ASSERT_TRUE(match.valid());
+  EXPECT_DOUBLE_EQ(match.distance, 2.0);
+  EXPECT_DOUBLE_EQ(table.output_at(match.index)[0], 20.0);
+}
+
+TEST(Iact, RoundRobinEvictsOldestSlot) {
+  TableFixture f;
+  auto table = f.make(2, 1, 1);
+  const auto ins = [&table](double x) {
+    const std::vector<double> in{x};
+    const std::vector<double> out{x};
+    table.insert(in, out);
+  };
+  ins(1);
+  ins(2);
+  ins(3);  // evicts slot 0 (value 1)
+  const std::vector<double> probe{1.0};
+  const auto match = table.find_nearest(probe);
+  EXPECT_DOUBLE_EQ(table.input_at(match.index)[0], 2.0);
+  EXPECT_EQ(table.valid_count(), 2);
+}
+
+TEST(Iact, ClockSparesRecentlyUsedEntries) {
+  TableFixture f;
+  auto table = f.make(2, 1, 1, Replacement::kClock);
+  const auto ins = [&table](double x) {
+    const std::vector<double> in{x};
+    const std::vector<double> out{x};
+    table.insert(in, out);
+  };
+  ins(1);
+  ins(2);
+  // Touch entry 0 (value 1): its reference bit protects it.
+  const std::vector<double> probe{1.0};
+  table.mark_used(table.find_nearest(probe).index);
+  ins(3);  // must evict value 2, not the referenced value 1
+  EXPECT_TRUE(table.find_nearest(probe).distance == 0.0);
+}
+
+TEST(Iact, MarkUsedIsNoOpForRoundRobin) {
+  TableFixture f;
+  auto table = f.make(2, 1, 1, Replacement::kRoundRobin);
+  const auto ins = [&table](double x) {
+    const std::vector<double> in{x};
+    const std::vector<double> out{x};
+    table.insert(in, out);
+  };
+  ins(1);
+  table.mark_used(0);  // must not perturb round-robin order
+  ins(2);
+  ins(3);  // evicts slot 0 (value 1) regardless of mark_used
+  const std::vector<double> probe{1};
+  const auto match = table.find_nearest(probe);
+  EXPECT_GT(match.distance, 0.0);
+}
+
+TEST(Iact, MultiDimensionalOutputsRoundTrip) {
+  TableFixture f;
+  auto table = f.make(4, 3, 4);
+  const std::vector<double> in{1, 2, 3};
+  const std::vector<double> out{10, 20, 30, 40};
+  table.insert(in, out);
+  const auto match = table.find_nearest(in);
+  const auto cached = table.output_at(match.index);
+  for (int d = 0; d < 4; ++d) EXPECT_DOUBLE_EQ(cached[d], out[static_cast<std::size_t>(d)]);
+}
+
+TEST(Iact, StorageAccounting) {
+  EXPECT_EQ(IactTable::storage_doubles(5, 4, 1), 25u);
+  // Figure 3's assumption is 36 bytes per entry for 4+ doubles... our
+  // footprint adds validity bookkeeping on top of the raw entries.
+  EXPECT_GT(IactTable::footprint_bytes(5, 4, 1), 25u * 8u);
+  std::vector<double> small(3);
+  EXPECT_THROW(IactTable(4, 2, 1, Replacement::kRoundRobin, small), Error);
+}
+
+TEST(Iact, DimensionMismatchesThrow) {
+  TableFixture f;
+  auto table = f.make(2, 2, 1);
+  const std::vector<double> bad_probe{1};
+  EXPECT_THROW(table.find_nearest(bad_probe), Error);
+  const std::vector<double> in{1, 2};
+  const std::vector<double> bad_out{1, 2};  // out_dims is 1
+  EXPECT_THROW(table.insert(in, bad_out), Error);
+}
+
+class IactFillSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IactFillSweep, ValidCountSaturatesAtCapacity) {
+  const int tsize = GetParam();
+  TableFixture f;
+  auto table = f.make(tsize, 1, 1);
+  for (int i = 0; i < 3 * tsize; ++i) {
+    const std::vector<double> in{static_cast<double>(i)};
+    const std::vector<double> out{0.0};
+    table.insert(in, out);
+    EXPECT_LE(table.valid_count(), tsize);
+  }
+  EXPECT_EQ(table.valid_count(), tsize);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2Sizes, IactFillSweep, ::testing::Values(1, 2, 4, 8));
+
+// Property: after heavy mixed traffic, round-robin and CLOCK hold the
+// same number of entries (capacity) and both still produce valid matches.
+TEST(Iact, PoliciesAgreeOnCapacityUnderChurn) {
+  for (auto policy : {Replacement::kRoundRobin, Replacement::kClock}) {
+    TableFixture f;
+    auto table = f.make(8, 2, 1, policy);
+    for (int i = 0; i < 100; ++i) {
+      const std::vector<double> in{static_cast<double>(i % 13), static_cast<double>(i % 7)};
+      const std::vector<double> out{static_cast<double>(i)};
+      const auto m = table.find_nearest(in);
+      if (m.valid() && m.distance < 0.5) {
+        table.mark_used(m.index);
+      } else {
+        table.insert(in, out);
+      }
+    }
+    EXPECT_EQ(table.valid_count(), 8);
+    const std::vector<double> probe{1, 1};
+    EXPECT_TRUE(table.find_nearest(probe).valid());
+  }
+}

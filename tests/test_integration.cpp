@@ -1,0 +1,125 @@
+// Cross-module integration tests: clause text -> parser -> executor ->
+// harness on both simulated platforms, plus end-to-end reproduction
+// smoke checks of the paper's qualitative claims at small scale.
+
+#include <gtest/gtest.h>
+
+#include "apps/blackscholes.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/lulesh.hpp"
+#include "harness/analysis.hpp"
+#include "harness/explorer.hpp"
+#include "harness/params.hpp"
+#include "pragma/parser.hpp"
+#include "sim/device.hpp"
+
+using namespace hpac;
+using namespace hpac::harness;
+
+namespace {
+sim::DeviceConfig device_for(const std::string& name) { return sim::device_by_name(name); }
+}  // namespace
+
+class PlatformSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlatformSweep, LuleshEndToEndOnBothPlatforms) {
+  apps::Lulesh::Params params;
+  params.num_elems = 2048;
+  params.num_steps = 30;
+  apps::Lulesh app(params);
+  Explorer explorer(app, device_for(GetParam()));
+  const auto record =
+      explorer.run_config(pragma::parse_approx("memo(out:3:8:0.5) level(warp)"), 8);
+  EXPECT_TRUE(record.feasible);
+  EXPECT_GT(record.speedup, 0.0);
+  EXPECT_GE(record.error_percent, 0.0);
+  EXPECT_EQ(record.device, device_for(GetParam()).name);
+}
+
+TEST_P(PlatformSweep, PerforationSpeedsUpLulesh) {
+  apps::Lulesh::Params params;
+  params.num_elems = 16384;  // enough blocks to keep 28 SMs compute-bound
+  params.num_steps = 30;
+  apps::Lulesh app(params);
+  Explorer explorer(app, device_for(GetParam()));
+  const auto record = explorer.run_config(pragma::parse_approx("perfo(fini:0.5)"), 1);
+  EXPECT_TRUE(record.feasible);
+  EXPECT_GT(record.speedup, 1.0);
+  EXPECT_LT(record.error_percent, 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, PlatformSweep, ::testing::Values("v100", "mi250x"));
+
+TEST(Integration, RunRecordsAreDeterministic) {
+  apps::Blackscholes::Params params;
+  params.num_options = 8192;
+  apps::Blackscholes app1(params), app2(params);
+  Explorer e1(app1, sim::v100()), e2(app2, sim::v100());
+  const auto spec = pragma::parse_approx("memo(out:3:16:0.5) level(warp)");
+  const auto a = e1.run_config(spec, 16);
+  const auto b = e2.run_config(spec, 16);
+  EXPECT_DOUBLE_EQ(a.speedup, b.speedup);
+  EXPECT_DOUBLE_EQ(a.error_percent, b.error_percent);
+  EXPECT_DOUBLE_EQ(a.approx_ratio, b.approx_ratio);
+}
+
+TEST(Integration, BlackscholesTafBeatsIact) {
+  // Insight 4: TAF outperforms iACT (which pays its lookup on every
+  // invocation).
+  apps::Blackscholes::Params params;
+  params.num_options = 1 << 15;
+  apps::Blackscholes app(params);
+  Explorer explorer(app, sim::v100());
+  const auto taf =
+      explorer.run_config(pragma::parse_approx("memo(out:1:64:0.9) level(warp)"), 16);
+  const auto iact =
+      explorer.run_config(pragma::parse_approx("memo(in:4:0.5:2) in(o) out(p)"), 16);
+  EXPECT_TRUE(taf.feasible);
+  EXPECT_TRUE(iact.feasible);
+  EXPECT_GT(taf.speedup, iact.speedup);
+}
+
+TEST(Integration, KmeansTimeSpeedupTracksConvergence) {
+  apps::KMeans::Params params;
+  params.num_points = 8192;
+  apps::KMeans app(params);
+  Explorer explorer(app, sim::v100());
+  std::vector<pragma::ApproxSpec> specs;
+  for (double thr : {0.3, 1.5, 5.0}) {
+    pragma::ApproxSpec spec;
+    spec.technique = pragma::Technique::kTafMemo;
+    spec.taf = pragma::TafParams{2, 64, thr};
+    spec.level = pragma::HierarchyLevel::kWarp;
+    specs.push_back(spec);
+  }
+  explorer.sweep(specs, {32, 128});
+  const auto corr = convergence_correlation(explorer.db().records());
+  ASSERT_GE(corr.time_speedup.size(), 4u);
+  EXPECT_GT(corr.regression.r2, 0.5);  // strong linear relation (paper: 0.95)
+  EXPECT_GT(corr.regression.slope, 0.0);
+}
+
+TEST(Integration, WarpSizeDiffersAcrossPlatforms) {
+  // The same clause produces different table-sharing layouts on the two
+  // platforms; both must run and account shared memory accordingly.
+  apps::Blackscholes::Params params;
+  params.num_options = 8192;
+  for (const char* device : {"v100", "mi250x"}) {
+    apps::Blackscholes app(params);
+    Explorer explorer(app, device_for(device));
+    const auto record =
+        explorer.run_config(pragma::parse_approx("memo(in:4:0.5:16) in(o) out(p)"), 8);
+    EXPECT_TRUE(record.feasible) << device;
+  }
+}
+
+TEST(Integration, CuratedSweepFindsQualifyingConfigs) {
+  apps::Blackscholes::Params params;
+  params.num_options = 1 << 14;
+  apps::Blackscholes app(params);
+  Explorer explorer(app, sim::v100());
+  explorer.sweep(curated_taf_specs({pragma::HierarchyLevel::kWarp}), {16});
+  const auto best = best_under_error(explorer.db().records(), 10.0);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_GT(best->speedup, 1.0);
+}

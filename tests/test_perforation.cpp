@@ -1,0 +1,103 @@
+// Tests for perforation predicates: exact skip sets for every pattern,
+// herded vs per-iteration behavior, and skip-fraction properties.
+
+#include <gtest/gtest.h>
+
+#include "approx/perforation.hpp"
+#include "common/error.hpp"
+
+using namespace hpac;
+using namespace hpac::approx;
+using pragma::PerfoKind;
+using pragma::PerfoParams;
+
+namespace {
+std::size_t count_skipped_items(const PerfoParams& p, std::uint64_t n) {
+  std::size_t skipped = 0;
+  for (std::uint64_t i = 0; i < n; ++i) skipped += perfo_skip_item(p, i, n);
+  return skipped;
+}
+}  // namespace
+
+TEST(Perfo, SmallSkipsOneOfEveryM) {
+  PerfoParams p{PerfoKind::kSmall, 4, 0.0, false};
+  // Skips the last of each group of 4: indices 3, 7, 11, ...
+  EXPECT_FALSE(perfo_skip_item(p, 0, 16));
+  EXPECT_FALSE(perfo_skip_item(p, 2, 16));
+  EXPECT_TRUE(perfo_skip_item(p, 3, 16));
+  EXPECT_TRUE(perfo_skip_item(p, 7, 16));
+  EXPECT_EQ(count_skipped_items(p, 16), 4u);
+}
+
+TEST(Perfo, LargeExecutesOneOfEveryM) {
+  PerfoParams p{PerfoKind::kLarge, 4, 0.0, false};
+  EXPECT_FALSE(perfo_skip_item(p, 0, 16));
+  EXPECT_FALSE(perfo_skip_item(p, 4, 16));
+  EXPECT_TRUE(perfo_skip_item(p, 1, 16));
+  EXPECT_EQ(count_skipped_items(p, 16), 12u);
+}
+
+TEST(Perfo, IniDropsTheFirstFraction) {
+  PerfoParams p{PerfoKind::kIni, 2, 0.25, false};
+  EXPECT_TRUE(perfo_skip_item(p, 0, 100));
+  EXPECT_TRUE(perfo_skip_item(p, 24, 100));
+  EXPECT_FALSE(perfo_skip_item(p, 25, 100));
+  EXPECT_FALSE(perfo_skip_item(p, 99, 100));
+  EXPECT_EQ(count_skipped_items(p, 100), 25u);
+}
+
+TEST(Perfo, FiniDropsTheLastFraction) {
+  PerfoParams p{PerfoKind::kFini, 2, 0.25, false};
+  EXPECT_FALSE(perfo_skip_item(p, 0, 100));
+  EXPECT_FALSE(perfo_skip_item(p, 74, 100));
+  EXPECT_TRUE(perfo_skip_item(p, 75, 100));
+  EXPECT_TRUE(perfo_skip_item(p, 99, 100));
+  EXPECT_EQ(count_skipped_items(p, 100), 25u);
+}
+
+TEST(Perfo, HerdedStepPredicateMatchesItemPattern) {
+  PerfoParams p{PerfoKind::kSmall, 2, 0.0, true};
+  // Steps: skip the last of every 2 -> odd steps skipped.
+  EXPECT_FALSE(perfo_skip_step(p, 0, 8));
+  EXPECT_TRUE(perfo_skip_step(p, 1, 8));
+  EXPECT_FALSE(perfo_skip_step(p, 2, 8));
+}
+
+TEST(Perfo, SingleStepLaunchIsNotWipedOut) {
+  // At items-per-thread 1 there is a single grid-stride step; small/large
+  // must not drop the whole kernel.
+  PerfoParams small{PerfoKind::kSmall, 4, 0.0, true};
+  EXPECT_FALSE(perfo_skip_step(small, 0, 1));
+  PerfoParams large{PerfoKind::kLarge, 4, 0.0, true};
+  EXPECT_FALSE(perfo_skip_step(large, 0, 1));
+}
+
+TEST(Perfo, OutOfRangeIndexThrows) {
+  PerfoParams p{PerfoKind::kSmall, 2, 0.0, false};
+  EXPECT_THROW(perfo_skip_item(p, 10, 10), Error);
+  EXPECT_THROW(perfo_skip_step(p, 5, 5), Error);
+}
+
+class PerfoFraction
+    : public ::testing::TestWithParam<std::tuple<pragma::PerfoKind, int, double>> {};
+
+TEST_P(PerfoFraction, MeasuredSkipFractionMatchesExpected) {
+  const auto [kind, stride, fraction] = GetParam();
+  PerfoParams p{kind, stride, fraction, false};
+  const std::uint64_t n = 6400;
+  const double measured = static_cast<double>(count_skipped_items(p, n)) / n;
+  EXPECT_NEAR(measured, perfo_expected_skip_fraction(p), 0.01)
+      << perfo_kind_name(kind) << " stride=" << stride << " frac=" << fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, PerfoFraction,
+    ::testing::Values(std::make_tuple(PerfoKind::kSmall, 2, 0.0),
+                      std::make_tuple(PerfoKind::kSmall, 8, 0.0),
+                      std::make_tuple(PerfoKind::kSmall, 64, 0.0),
+                      std::make_tuple(PerfoKind::kLarge, 2, 0.0),
+                      std::make_tuple(PerfoKind::kLarge, 16, 0.0),
+                      std::make_tuple(PerfoKind::kIni, 2, 0.1),
+                      std::make_tuple(PerfoKind::kIni, 2, 0.9),
+                      std::make_tuple(PerfoKind::kFini, 2, 0.5),
+                      std::make_tuple(PerfoKind::kFini, 2, 0.3)));

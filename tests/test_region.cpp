@@ -1,0 +1,406 @@
+// Behavioral tests of the RegionExecutor — the warp-synchronous engine
+// that implements the paper's GPU AC algorithms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "approx/iact.hpp"
+#include "approx/region.hpp"
+#include "approx/taf.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "pragma/parser.hpp"
+#include "sim/device.hpp"
+
+using namespace hpac;
+using namespace hpac::approx;
+
+namespace {
+
+struct TestRegion {
+  std::uint64_t n = 1 << 12;
+  std::vector<double> out;
+  std::function<double(std::uint64_t)> f = [](std::uint64_t i) {
+    return 1.0 + static_cast<double>(i % 7);
+  };
+
+  RegionBinding binding(double cost = 100.0, int in_dims = 1) {
+    out.assign(n, -1.0);
+    RegionBinding b;
+    b.in_dims = in_dims;
+    b.out_dims = 1;
+    b.gather = [this](std::uint64_t i, std::span<double> in) {
+      in[0] = static_cast<double>(i % 7);
+    };
+    b.accurate = [this](std::uint64_t i, std::span<const double>, std::span<double> o) {
+      o[0] = f(i);
+    };
+    b.accurate_cost = [cost](std::uint64_t) { return cost; };
+    b.commit = [this](std::uint64_t i, std::span<const double> o) { out[i] = o[0]; };
+    return b;
+  }
+
+  std::vector<double> reference() const {
+    std::vector<double> ref(n);
+    for (std::uint64_t i = 0; i < n; ++i) ref[i] = f(i);
+    return ref;
+  }
+};
+
+RegionReport run_spec(TestRegion& region, const RegionBinding& binding, const char* clause,
+                      std::uint64_t ipt = 16,
+                      sim::DeviceConfig dev = sim::v100()) {
+  RegionExecutor executor(dev);
+  const sim::LaunchConfig launch = sim::launch_for_items_per_thread(region.n, ipt, 128);
+  return executor.run(pragma::parse_approx(clause), binding, region.n, launch);
+}
+
+}  // namespace
+
+TEST(Region, BaselineComputesEveryItemExactly) {
+  TestRegion region;
+  auto binding = region.binding();
+  const auto report = run_spec(region, binding, "none");
+  EXPECT_EQ(region.out, region.reference());
+  EXPECT_EQ(report.stats.accurate_items, region.n);
+  EXPECT_EQ(report.stats.approx_items, 0u);
+  EXPECT_EQ(report.stats.region_invocations, region.n);
+}
+
+TEST(Region, StatsPartitionInvocations) {
+  TestRegion region;
+  auto binding = region.binding();
+  for (const char* clause :
+       {"none", "perfo(small:4)", "memo(out:2:8:0.5)", "memo(in:4:0.5:2) in(x) out(y)"}) {
+    const auto report = run_spec(region, binding, clause);
+    EXPECT_EQ(report.stats.accurate_items + report.stats.approx_items +
+                  report.stats.skipped_items,
+              report.stats.region_invocations)
+        << clause;
+  }
+}
+
+TEST(Region, ConstantFunctionTafIsErrorFree) {
+  TestRegion region;
+  region.f = [](std::uint64_t) { return 42.0; };
+  auto binding = region.binding();
+  const auto report = run_spec(region, binding, "memo(out:3:16:0.3)");
+  EXPECT_GT(report.stats.approx_items, region.n / 2);
+  for (double v : region.out) ASSERT_DOUBLE_EQ(v, 42.0);
+}
+
+TEST(Region, TafRespectsThreshold) {
+  TestRegion region;  // i % 7: wildly varying outputs per grid-stride step
+  auto binding = region.binding();
+  const auto strict = run_spec(region, binding, "memo(out:3:16:0.01)");
+  EXPECT_EQ(strict.stats.approx_items, 0u);
+  EXPECT_EQ(region.out, region.reference());
+}
+
+TEST(Region, TafSpeedsUpStableRegions) {
+  TestRegion region;
+  region.f = [](std::uint64_t) { return 7.0; };
+  auto binding = region.binding(500.0);
+  const auto base = run_spec(region, binding, "none");
+  const auto taf = run_spec(region, binding, "memo(out:2:32:0.3)");
+  EXPECT_LT(taf.timing.seconds, base.timing.seconds);
+}
+
+TEST(Region, IactExactRepeatsHitCache) {
+  TestRegion region;
+  // Inputs repeat with period 7 along each thread's grid-stride walk.
+  auto binding = region.binding(200.0, 1);
+  const auto report = run_spec(region, binding, "memo(in:8:0.1:2) in(x) out(y)");
+  EXPECT_GT(report.stats.iact_hits, 0u);
+  EXPECT_GT(report.stats.approx_items, 0u);
+  // Exact-repeat workload: cached outputs are identical to accurate ones.
+  EXPECT_EQ(region.out, region.reference());
+}
+
+TEST(Region, IactRequiresUniformInputs) {
+  TestRegion region;
+  auto binding = region.binding(100.0, 0);  // no uniform input key
+  binding.gather = nullptr;
+  RegionExecutor executor(sim::v100());
+  const sim::LaunchConfig launch = sim::launch_for_items_per_thread(region.n, 8, 128);
+  EXPECT_THROW(executor.run(pragma::parse_approx("memo(in:4:0.5:2) in(x) out(y)"), binding,
+                            region.n, launch),
+               ConfigError);
+}
+
+TEST(Region, IactTablesPerWarpMustDivideWarp) {
+  TestRegion region;
+  auto binding = region.binding();
+  EXPECT_THROW(run_spec(region, binding, "memo(in:4:0.5:3) in(x) out(y)"), ConfigError);
+  // 64 tables per warp only fit the AMD wavefront (Table 2).
+  EXPECT_THROW(run_spec(region, binding, "memo(in:4:0.5:64) in(x) out(y)"), ConfigError);
+  EXPECT_NO_THROW(
+      run_spec(region, binding, "memo(in:4:0.5:64) in(x) out(y)", 16, sim::mi250x()));
+}
+
+TEST(Region, SharedMemoryOverflowIsConfigError) {
+  TestRegion region;
+  auto binding = region.binding();
+  // History 512 x 128 threads x 8B >> 96KB shared memory.
+  pragma::ApproxSpec spec;
+  spec.technique = pragma::Technique::kTafMemo;
+  spec.taf = pragma::TafParams{4096, 8, 0.5};
+  spec.out_sections.push_back("o");
+  RegionExecutor executor(sim::v100());
+  const sim::LaunchConfig launch = sim::launch_for_items_per_thread(region.n, 8, 128);
+  EXPECT_THROW(executor.run(spec, binding, region.n, launch), ConfigError);
+}
+
+TEST(Region, AcStateBytesMatchFootprints) {
+  TestRegion region;
+  auto binding = region.binding();
+  RegionExecutor executor(sim::v100());
+  sim::LaunchConfig launch;
+  launch.num_teams = 4;
+  launch.threads_per_team = 128;
+
+  pragma::ApproxSpec taf = pragma::parse_approx("memo(out:3:8:0.5)");
+  EXPECT_EQ(executor.ac_state_bytes_per_block(taf, binding, launch),
+            128 * TafState::footprint_bytes(3, 1));
+
+  pragma::ApproxSpec iact = pragma::parse_approx("memo(in:4:0.5:2) in(x) out(y)");
+  EXPECT_EQ(executor.ac_state_bytes_per_block(iact, binding, launch),
+            4u * 2u * IactTable::footprint_bytes(4, 1, 1));
+
+  pragma::ApproxSpec perfo = pragma::parse_approx("perfo(small:2)");
+  EXPECT_EQ(executor.ac_state_bytes_per_block(perfo, binding, launch), 0u);
+}
+
+TEST(Region, PerforationSkipsExpectedFraction) {
+  TestRegion region;
+  auto binding = region.binding();
+  const auto report = run_spec(region, binding, "perfo(small:4)", 16);
+  const double skipped =
+      static_cast<double>(report.stats.skipped_items) / region.n;
+  EXPECT_NEAR(skipped, 0.25, 0.05);
+  // Skipped items keep their prior (initialization) value.
+  std::size_t untouched = 0;
+  for (double v : region.out) untouched += v == -1.0;
+  EXPECT_EQ(untouched, report.stats.skipped_items);
+}
+
+TEST(Region, IniPerforationDropsPrefixAtAnyLaunch) {
+  TestRegion region;
+  auto binding = region.binding();
+  const auto report = run_spec(region, binding, "perfo(ini:0.5)", 1);
+  EXPECT_NEAR(static_cast<double>(report.stats.skipped_items) / region.n, 0.5, 0.01);
+  EXPECT_EQ(region.out[0], -1.0);
+  EXPECT_NE(region.out[region.n - 1], -1.0);
+}
+
+TEST(Region, HerdedPerforationAvoidsFragmentedWarps) {
+  TestRegion region;
+  auto binding = region.binding(50.0);
+  const auto herded = run_spec(region, binding, "perfo(small:2)", 16);
+  const auto cpu_style = run_spec(region, binding, "perfo(small:2) herded(0)", 16);
+  // Same work dropped, but the herded pattern issues fewer transactions.
+  EXPECT_NEAR(static_cast<double>(herded.stats.skipped_items),
+              static_cast<double>(cpu_style.stats.skipped_items),
+              static_cast<double>(region.n) * 0.05);
+  EXPECT_LT(herded.timing.total_transactions, cpu_style.timing.total_transactions);
+  EXPECT_LE(herded.timing.seconds, cpu_style.timing.seconds);
+}
+
+TEST(Region, WarpLevelEliminatesDivergence) {
+  TestRegion region;
+  // 60% of items stable, interleaved: thread-level decisions split warps.
+  region.f = [](std::uint64_t i) {
+    return i % 5 < 3 ? 10.0 : 10.0 + std::sin(static_cast<double>(i));
+  };
+  auto binding = region.binding(300.0);
+  const auto thread_level = run_spec(region, binding, "memo(out:3:16:0.05)");
+  const auto warp_level = run_spec(region, binding, "memo(out:3:16:0.05) level(warp)");
+  EXPECT_GT(thread_level.timing.divergent_regions, 0u);
+  EXPECT_EQ(warp_level.timing.divergent_regions, 0u);
+  EXPECT_LT(warp_level.timing.seconds, thread_level.timing.seconds);
+  EXPECT_GT(warp_level.stats.forced_approx + warp_level.stats.forced_accurate, 0u);
+}
+
+TEST(Region, BlockLevelDecisionsAreBlockUniform) {
+  TestRegion region;
+  region.f = [](std::uint64_t) { return 3.0; };
+  auto binding = region.binding();
+  const auto report = run_spec(region, binding, "memo(out:2:16:0.3) level(team)");
+  // With uniformly stable outputs, whole blocks flip to the approximate
+  // path; divergence must be zero.
+  EXPECT_EQ(report.timing.divergent_regions, 0u);
+  EXPECT_GT(report.stats.approx_items, 0u);
+}
+
+TEST(Region, MissingCallbacksAreRejected) {
+  TestRegion region;
+  RegionBinding empty;
+  RegionExecutor executor(sim::v100());
+  const sim::LaunchConfig launch = sim::launch_for_items_per_thread(64, 1, 32);
+  EXPECT_THROW(executor.run(pragma::parse_approx("none"), empty, 64, launch), Error);
+}
+
+TEST(Region, PartialTailWarpHandled) {
+  TestRegion region;
+  region.n = 1000;  // not a multiple of warp or team sizes
+  auto binding = region.binding();
+  const auto report = run_spec(region, binding, "none", 3);
+  EXPECT_EQ(report.stats.region_invocations, 1000u);
+  EXPECT_EQ(region.out, region.reference());
+}
+
+TEST(Region, DeterministicAcrossRuns) {
+  TestRegion region;
+  auto binding = region.binding();
+  const auto a = run_spec(region, binding, "memo(out:3:8:0.5) level(warp)");
+  const std::vector<double> first = region.out;
+  const auto b = run_spec(region, binding, "memo(out:3:8:0.5) level(warp)");
+  EXPECT_EQ(first, region.out);
+  EXPECT_DOUBLE_EQ(a.timing.seconds, b.timing.seconds);
+  EXPECT_EQ(a.stats.approx_items, b.stats.approx_items);
+}
+
+class RegionDeviceSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegionDeviceSweep, AllTechniquesRunOnBothPlatforms) {
+  for (const auto& dev : {sim::v100(), sim::mi250x()}) {
+    TestRegion region;
+    auto binding = region.binding();
+    const auto report = run_spec(region, binding, GetParam(), 16, dev);
+    EXPECT_GT(report.timing.seconds, 0.0) << dev.name;
+    EXPECT_EQ(report.stats.region_invocations, region.n) << dev.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clauses, RegionDeviceSweep,
+                         ::testing::Values("none", "perfo(small:2)", "perfo(fini:0.3)",
+                                           "memo(out:3:8:0.5)",
+                                           "memo(out:3:8:0.5) level(warp)",
+                                           "memo(out:3:8:0.5) level(team)",
+                                           "memo(in:4:0.5:2) in(x) out(y)",
+                                           "memo(in:4:0.5:2) level(warp) in(x) out(y)"));
+
+TEST(Region, TafReducesMemoryTraffic) {
+  // Approximated steps skip the accurate path's loads; with a stable
+  // region most transactions disappear.
+  TestRegion region;
+  region.f = [](std::uint64_t) { return 1.0; };
+  auto binding = region.binding(100.0);
+  binding.in_bytes = 32;
+  const auto base = run_spec(region, binding, "none");
+  const auto taf = run_spec(region, binding, "memo(out:1:64:0.5) level(warp)");
+  EXPECT_LT(taf.timing.total_transactions, base.timing.total_transactions / 2);
+}
+
+TEST(Region, IactHitsNeverExceedInvocations) {
+  TestRegion region;
+  auto binding = region.binding();
+  const auto report = run_spec(region, binding, "memo(in:8:0.5:2) in(x) out(y)");
+  EXPECT_LE(report.stats.iact_hits, report.stats.region_invocations);
+}
+
+TEST(Region, OccupancyReportedInUnitInterval) {
+  TestRegion region;
+  auto binding = region.binding();
+  for (std::uint64_t ipt : {1ull, 8ull, 64ull}) {
+    const auto report = run_spec(region, binding, "none", ipt);
+    EXPECT_GT(report.timing.occupancy, 0.0);
+    EXPECT_LE(report.timing.occupancy, 1.0);
+  }
+}
+
+TEST(Region, TafStableEntriesCounted) {
+  TestRegion region;
+  region.f = [](std::uint64_t) { return 2.0; };
+  auto binding = region.binding();
+  const auto report = run_spec(region, binding, "memo(out:2:4:0.5)");
+  EXPECT_GT(report.stats.taf_stable_entries, 0u);
+}
+
+TEST(Region, SharedStateScopedToKernel) {
+  // Two consecutive runs behave identically: AC state must not leak
+  // across kernel launches (paper: destroyed at kernel completion).
+  TestRegion region;
+  region.f = [](std::uint64_t) { return 3.0; };
+  auto binding = region.binding();
+  const auto first = run_spec(region, binding, "memo(out:2:8:0.5)");
+  const auto second = run_spec(region, binding, "memo(out:2:8:0.5)");
+  EXPECT_EQ(first.stats.approx_items, second.stats.approx_items);
+  EXPECT_EQ(first.stats.taf_stable_entries, second.stats.taf_stable_entries);
+}
+
+// --- Figure 2 composition: perforation around a memoized region ---------
+
+TEST(Composed, PerfoPlusTafPartitionsInvocations) {
+  TestRegion region;
+  region.f = [](std::uint64_t) { return 5.0; };
+  auto binding = region.binding();
+  RegionExecutor executor(sim::v100());
+  const sim::LaunchConfig launch = sim::launch_for_items_per_thread(region.n, 16, 128);
+  const auto report = executor.run_composed(pragma::parse_approx("perfo(small:4)"),
+                                            pragma::parse_approx("memo(out:2:8:0.5)"),
+                                            binding, region.n, launch);
+  EXPECT_NEAR(static_cast<double>(report.stats.skipped_items) / region.n, 0.25, 0.05);
+  EXPECT_GT(report.stats.approx_items, 0u);
+  EXPECT_EQ(report.stats.accurate_items + report.stats.approx_items +
+                report.stats.skipped_items,
+            report.stats.region_invocations);
+}
+
+TEST(Composed, PaperFigure2Example) {
+  // perfo(small:4) around memo(in:10:0.5f) — the paper's exact example.
+  TestRegion region;
+  auto binding = region.binding();
+  RegionExecutor executor(sim::v100());
+  const sim::LaunchConfig launch = sim::launch_for_items_per_thread(region.n, 16, 128);
+  const auto report = executor.run_composed(
+      pragma::parse_approx("perfo(small:4)"),
+      pragma::parse_approx("memo(in: 10 : 0.5f) in(input[i]) out(output[i])"), binding,
+      region.n, launch);
+  EXPECT_GT(report.stats.skipped_items, 0u);
+  EXPECT_GT(report.stats.iact_hits, 0u);
+}
+
+TEST(Composed, CpuStylePerfoFiltersLanes) {
+  TestRegion region;
+  auto binding = region.binding();
+  RegionExecutor executor(sim::v100());
+  const sim::LaunchConfig launch = sim::launch_for_items_per_thread(region.n, 16, 128);
+  const auto report = executor.run_composed(pragma::parse_approx("perfo(large:4) herded(0)"),
+                                            pragma::parse_approx("memo(out:2:8:0.5)"),
+                                            binding, region.n, launch);
+  EXPECT_NEAR(static_cast<double>(report.stats.skipped_items) / region.n, 0.75, 0.05);
+}
+
+TEST(Composed, RejectsWrongDirectiveKinds) {
+  TestRegion region;
+  auto binding = region.binding();
+  RegionExecutor executor(sim::v100());
+  const sim::LaunchConfig launch = sim::launch_for_items_per_thread(region.n, 16, 128);
+  EXPECT_THROW(executor.run_composed(pragma::parse_approx("memo(out:2:8:0.5)"),
+                                     pragma::parse_approx("memo(out:2:8:0.5)"), binding,
+                                     region.n, launch),
+               ConfigError);
+  EXPECT_THROW(executor.run_composed(pragma::parse_approx("perfo(small:2)"),
+                                     pragma::parse_approx("perfo(small:2)"), binding,
+                                     region.n, launch),
+               ConfigError);
+}
+
+TEST(Composed, SkippedItemsNeverTouchAcState) {
+  // With everything perforated away except one step per cycle, the memo
+  // logic sees a sparser stream; outputs of skipped items stay at the
+  // initialization value.
+  TestRegion region;
+  auto binding = region.binding();
+  RegionExecutor executor(sim::v100());
+  const sim::LaunchConfig launch = sim::launch_for_items_per_thread(region.n, 16, 128);
+  executor.run_composed(pragma::parse_approx("perfo(large:16)"),
+                        pragma::parse_approx("memo(out:1:4:0.5)"), binding, region.n,
+                        launch);
+  std::size_t untouched = 0;
+  for (double v : region.out) untouched += v == -1.0;
+  EXPECT_GT(untouched, region.n / 2);
+}

@@ -1,0 +1,242 @@
+// Unit and property tests for the GPU simulator substrate: device presets,
+// launch geometry, shared-memory accounting, coalescing, warp primitives
+// and the analytic timing model.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/device.hpp"
+#include "sim/launch.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/shared_memory.hpp"
+#include "sim/timing.hpp"
+#include "sim/warp.hpp"
+
+using namespace hpac;
+using namespace hpac::sim;
+
+TEST(Device, PresetsMatchPlatformStory) {
+  const DeviceConfig nv = v100();
+  const DeviceConfig amd = mi250x();
+  EXPECT_EQ(nv.warp_size, 32);
+  EXPECT_EQ(amd.warp_size, 64);
+  // The AMD part has more SMs (the paper's 80:220 ratio, scaled).
+  EXPECT_GT(amd.num_sms, 2 * nv.num_sms);
+  EXPECT_EQ(nv.global_mem_bytes, 16ull << 30);
+}
+
+TEST(Device, LookupByName) {
+  EXPECT_EQ(device_by_name("nvidia").name, "v100");
+  EXPECT_EQ(device_by_name("AMD").name, "mi250x");
+  EXPECT_THROW(device_by_name("tpu"), ConfigError);
+}
+
+TEST(Device, TransferTimeIsLatencyPlusBandwidth) {
+  DeviceConfig d = v100();
+  const double just_latency = d.transfer_seconds(0);
+  EXPECT_NEAR(just_latency, d.host_link_latency_us * 1e-6, 1e-12);
+  const double one_gb = d.transfer_seconds(1ull << 30);
+  EXPECT_GT(one_gb, just_latency + 0.01);
+}
+
+TEST(Launch, StepsForCoversIterationSpace) {
+  LaunchConfig cfg;
+  cfg.num_teams = 4;
+  cfg.threads_per_team = 128;  // 512 threads
+  EXPECT_EQ(cfg.steps_for(512), 1u);
+  EXPECT_EQ(cfg.steps_for(513), 2u);
+  EXPECT_EQ(cfg.steps_for(1), 1u);
+}
+
+TEST(Launch, ItemsPerThreadBuilder) {
+  const auto cfg = launch_for_items_per_thread(1 << 16, 8, 128);
+  EXPECT_EQ(cfg.total_threads(), (1u << 16) / 8);
+  EXPECT_EQ(cfg.threads_per_team, 128u);
+}
+
+TEST(Launch, ExtremeItemsPerThreadShrinksTeam) {
+  // Figure 8c sweeps to 16384 items per thread: a single thread must be
+  // a valid launch.
+  const auto cfg = launch_for_items_per_thread(16384, 16384, 128);
+  EXPECT_EQ(cfg.total_threads(), 1u);
+  EXPECT_EQ(cfg.steps_for(16384), 16384u);
+}
+
+TEST(Launch, ValidationRejectsBadGeometry) {
+  DeviceConfig dev = v100();
+  LaunchConfig cfg;
+  cfg.num_teams = 0;
+  EXPECT_THROW(cfg.validate(dev), ConfigError);
+  cfg.num_teams = 1;
+  cfg.threads_per_team = 4096;  // beyond the 1024-thread block limit
+  EXPECT_THROW(cfg.validate(dev), ConfigError);
+}
+
+TEST(SharedMemory, AllocatesAndTracksPeak) {
+  SharedMemoryArena arena(v100());
+  auto a = arena.alloc_doubles(100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(arena.bytes_used(), 800u);
+  arena.alloc_ints(10);
+  EXPECT_EQ(arena.bytes_used(), 840u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.peak_bytes(), 840u);
+}
+
+TEST(SharedMemory, OverflowThrowsConfigError) {
+  SharedMemoryArena arena(v100());
+  EXPECT_THROW(arena.alloc_doubles((96u << 10) / 8 + 1), ConfigError);
+}
+
+TEST(SharedMemory, KernelLifetimeScoping) {
+  // Paper §3.1.1: state is destroyed when the kernel completes.
+  SharedMemoryArena arena(v100());
+  auto span = arena.alloc_doubles(4);
+  span[0] = 42.0;
+  arena.reset();
+  auto fresh = arena.alloc_doubles(4);
+  EXPECT_EQ(fresh[0], 0.0);
+}
+
+TEST(Warp, FullMaskAndLaneOps) {
+  EXPECT_EQ(full_mask(32), 0xFFFFFFFFull);
+  EXPECT_EQ(full_mask(64), ~0ull);
+  EXPECT_TRUE(lane_active(0b100, 2));
+  EXPECT_FALSE(lane_active(0b100, 1));
+  EXPECT_EQ(popcount(0b1011ull), 3);
+  EXPECT_EQ(first_lane(0b1000), 3);
+  EXPECT_EQ(first_lane(0), -1);
+}
+
+TEST(Warp, BallotRespectsActiveMask) {
+  std::array<bool, 4> wishes{true, true, false, true};
+  const LaneMask mask =
+      ballot(std::span<const bool>(wishes.data(), wishes.size()), 0b0011);
+  EXPECT_EQ(mask, 0b0011ull);  // lane 3 wished but is inactive
+}
+
+TEST(Warp, LedgerSerializesDivergentPaths) {
+  WarpLedger ledger;
+  const std::array<double, 2> both{100.0, 30.0};
+  ledger.charge_paths(both);
+  EXPECT_DOUBLE_EQ(ledger.compute_cycles(), 130.0);
+  EXPECT_EQ(ledger.divergent_regions(), 1u);
+  const std::array<double, 2> single{50.0, 0.0};
+  ledger.charge_paths(single);
+  EXPECT_EQ(ledger.divergent_regions(), 1u);  // one path is free: no divergence
+}
+
+TEST(Coalescing, UnitStrideDoublesOn32ByteSegments) {
+  CoalescingModel model(v100());  // 32-byte segments
+  // 32 lanes x 8-byte elements, fully active: 256 bytes = 8 transactions.
+  EXPECT_EQ(model.unit_stride_transactions(0, 8, full_mask(32), 32), 8u);
+}
+
+TEST(Coalescing, SparseMaskStillTouchesMostSegments) {
+  CoalescingModel model(v100());
+  // Every other lane active: segments still cover the whole range —
+  // the memory-fragmentation cost of per-thread (small) perforation.
+  LaneMask every_other = 0x55555555ull;
+  EXPECT_EQ(model.unit_stride_transactions(0, 8, every_other, 32), 8u);
+}
+
+TEST(Coalescing, EmptyMaskIsFree) {
+  CoalescingModel model(v100());
+  EXPECT_EQ(model.unit_stride_transactions(0, 8, 0, 32), 0u);
+}
+
+TEST(Coalescing, ExplicitAddressesDeduplicateSegments) {
+  CoalescingModel model(v100());
+  std::vector<std::uint64_t> addrs{0, 8, 16, 24, 1024};
+  EXPECT_EQ(model.transactions(addrs, full_mask(5)), 2u);
+}
+
+TEST(Coalescing, StridedColumnMajorAccess) {
+  CoalescingModel model(v100());
+  // Figure 5's array section: 5 elements per lane, stride N; each of the
+  // 5 "columns" coalesces across lanes.
+  const std::uint32_t tx = model.strided_transactions(8, 5, 4096, full_mask(32), 32);
+  EXPECT_EQ(tx, 5u * 8u);
+}
+
+namespace {
+KernelTracker make_tracker(const DeviceConfig& dev, std::uint64_t teams,
+                           std::uint32_t tpt = 128, std::size_t shmem = 0) {
+  LaunchConfig cfg;
+  cfg.num_teams = teams;
+  cfg.threads_per_team = tpt;
+  return KernelTracker(dev, cfg, shmem);
+}
+}  // namespace
+
+TEST(Timing, MoreComputeTakesLonger) {
+  const DeviceConfig dev = v100();
+  auto t1 = make_tracker(dev, 16);
+  auto t2 = make_tracker(dev, 16);
+  for (std::uint64_t b = 0; b < 16; ++b) {
+    for (std::uint32_t w = 0; w < 4; ++w) {
+      t1.warp(b, w).charge_compute(1000);
+      t2.warp(b, w).charge_compute(3000);
+    }
+  }
+  EXPECT_LT(t1.finalize().seconds, t2.finalize().seconds);
+}
+
+TEST(Timing, LatencyHidingImprovesWithOccupancy) {
+  // Same total work and memory rounds: many resident warps hide latency
+  // better than few (the Figure 8c mechanism).
+  const DeviceConfig dev = v100();
+  auto sparse = make_tracker(dev, 1);    // one team on one SM
+  auto dense = make_tracker(dev, 160);   // 16 teams per SM
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    sparse.warp(0, w).charge_compute(100);
+    sparse.warp(0, w).charge_memory(8, 16);
+  }
+  for (std::uint64_t b = 0; b < 160; ++b) {
+    for (std::uint32_t w = 0; w < 4; ++w) {
+      dense.warp(b, w).charge_compute(100);
+      dense.warp(b, w).charge_memory(8, 16);
+    }
+  }
+  const auto t_sparse = sparse.finalize();
+  const auto t_dense = dense.finalize();
+  // The dense launch does 160x the work but takes far less than 160x/10sms.
+  EXPECT_LT(t_dense.critical_path_cycles, t_sparse.critical_path_cycles * 16.0 * 0.9);
+  EXPECT_GT(t_dense.occupancy, t_sparse.occupancy);
+}
+
+TEST(Timing, SharedMemoryLimitsResidency) {
+  const DeviceConfig dev = v100();
+  auto light = make_tracker(dev, 32, 128, 0);
+  auto heavy = make_tracker(dev, 32, 128, dev.shared_mem_per_block);
+  EXPECT_GT(light.resident_blocks_per_sm(), heavy.resident_blocks_per_sm());
+  EXPECT_EQ(heavy.resident_blocks_per_sm(), 1);
+}
+
+TEST(Timing, DivergenceCountsSurface) {
+  const DeviceConfig dev = v100();
+  auto tracker = make_tracker(dev, 1);
+  const std::array<double, 2> paths{10.0, 20.0};
+  tracker.warp(0, 0).charge_paths(paths);
+  EXPECT_EQ(tracker.finalize().divergent_regions, 1u);
+}
+
+TEST(Timing, LaunchOverheadFloorsKernelTime) {
+  const DeviceConfig dev = v100();
+  auto tracker = make_tracker(dev, 1);
+  const auto timing = tracker.finalize();
+  EXPECT_GE(timing.seconds, dev.kernel_launch_overhead_us * 1e-6);
+}
+
+TEST(Timing, BlocksDistributeAcrossSms) {
+  // 10 blocks over 10 SMs should be ~10x faster than 10 blocks' work on
+  // one SM (modeled by launching one team with the same total cycles).
+  const DeviceConfig dev = v100();
+  auto spread = make_tracker(dev, 10);
+  for (std::uint64_t b = 0; b < 10; ++b) spread.warp(b, 0).charge_compute(10000);
+  auto lumped = make_tracker(dev, 1);
+  lumped.warp(0, 0).charge_compute(100000);
+  EXPECT_LT(spread.finalize().critical_path_cycles,
+            lumped.finalize().critical_path_cycles * 0.2);
+}

@@ -1,0 +1,202 @@
+// Tests for the TAF state machine: window mechanics, stable-regime entry,
+// credits, multi-output RSD and the sign-robust denominator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "approx/taf.hpp"
+#include "common/error.hpp"
+
+using namespace hpac;
+using namespace hpac::approx;
+using pragma::TafParams;
+
+namespace {
+TafState make_state(const TafParams& params, int out_dims, std::vector<double>& storage) {
+  storage.assign(TafState::storage_doubles(params.history_size, out_dims), 0.0);
+  return TafState(params, out_dims, storage);
+}
+}  // namespace
+
+TEST(Taf, NoApproximationDuringWarmup) {
+  std::vector<double> storage;
+  TafState taf = make_state({3, 4, 0.5}, 1, storage);
+  double v[1] = {10.0};
+  taf.record_accurate(v);
+  EXPECT_FALSE(taf.should_approximate());
+  taf.record_accurate(v);
+  EXPECT_FALSE(taf.should_approximate());
+}
+
+TEST(Taf, StableWindowGrantsPredictionCredits) {
+  std::vector<double> storage;
+  TafState taf = make_state({3, 4, 0.5}, 1, storage);
+  double v[1] = {10.0};
+  for (int i = 0; i < 3; ++i) taf.record_accurate(v);
+  EXPECT_TRUE(taf.should_approximate());
+  EXPECT_EQ(taf.credits(), 4);
+}
+
+TEST(Taf, PredictReturnsLastAccurateOutput) {
+  std::vector<double> storage;
+  TafState taf = make_state({2, 8, 0.5}, 1, storage);
+  double v[1] = {5.0};
+  taf.record_accurate(v);
+  v[0] = 5.001;
+  taf.record_accurate(v);
+  ASSERT_TRUE(taf.should_approximate());
+  double out[1] = {0.0};
+  taf.predict(out);
+  EXPECT_DOUBLE_EQ(out[0], 5.001);
+}
+
+TEST(Taf, CreditsAreConsumed) {
+  std::vector<double> storage;
+  TafState taf = make_state({1, 3, 0.5}, 1, storage);
+  double v[1] = {1.0};
+  taf.record_accurate(v);  // single-entry window: RSD 0 -> stable
+  EXPECT_EQ(taf.credits(), 3);
+  double out[1];
+  taf.predict(out);
+  taf.predict(out);
+  taf.predict(out);
+  EXPECT_FALSE(taf.should_approximate());
+}
+
+TEST(Taf, WindowRestartsAfterStableRegime) {
+  std::vector<double> storage;
+  TafState taf = make_state({2, 1, 0.5}, 1, storage);
+  double v[1] = {7.0};
+  taf.record_accurate(v);
+  taf.record_accurate(v);
+  ASSERT_TRUE(taf.should_approximate());
+  double out[1];
+  taf.predict(out);
+  EXPECT_FALSE(taf.should_approximate());
+  // One fresh accurate execution is not enough: history must refill.
+  taf.record_accurate(v);
+  EXPECT_FALSE(taf.should_approximate());
+  taf.record_accurate(v);
+  EXPECT_TRUE(taf.should_approximate());
+}
+
+TEST(Taf, UnstableOutputsNeverApproximate) {
+  std::vector<double> storage;
+  TafState taf = make_state({3, 4, 0.1}, 1, storage);
+  for (int i = 0; i < 32; ++i) {
+    double v[1] = {i % 2 ? 100.0 : 1.0};
+    taf.record_accurate(v);
+    EXPECT_FALSE(taf.should_approximate()) << "iteration " << i;
+  }
+}
+
+TEST(Taf, WindowRsdInfiniteUntilFull) {
+  std::vector<double> storage;
+  TafState taf = make_state({4, 1, 0.5}, 1, storage);
+  double v[1] = {2.0};
+  taf.record_accurate(v);
+  EXPECT_TRUE(std::isinf(taf.window_rsd()));
+}
+
+TEST(Taf, RsdMatchesHandComputedValue) {
+  std::vector<double> storage;
+  TafState taf = make_state({3, 1, 1e9}, 1, storage);  // huge threshold: no reset
+  for (double x : {9.0, 10.0, 11.0}) {
+    double v[1] = {x};
+    taf.record_accurate(v);
+  }
+  // After entering stable regime the window resets; use a threshold of 0
+  // instead to keep the window observable.
+  std::vector<double> storage2;
+  TafState taf2 = make_state({3, 1, 0.0}, 1, storage2);
+  for (double x : {9.0, 10.0, 11.0}) {
+    double v[1] = {x};
+    taf2.record_accurate(v);
+  }
+  EXPECT_NEAR(taf2.window_rsd(), std::sqrt(2.0 / 3.0) / 10.0, 1e-12);
+}
+
+TEST(Taf, SignRobustDenominatorKeepsMixedSignsFinite) {
+  // Force components oscillating around zero: the paper's sigma/|mu| is
+  // infinite; our denominator uses mean |x| (identical for same-sign
+  // windows) and stays finite.
+  std::vector<double> storage;
+  TafState taf = make_state({2, 1, 0.0}, 1, storage);
+  double v[1] = {-1.0};
+  taf.record_accurate(v);
+  v[0] = 1.0;
+  taf.record_accurate(v);
+  EXPECT_TRUE(std::isfinite(taf.window_rsd()));
+  EXPECT_NEAR(taf.window_rsd(), 1.0, 1e-12);
+}
+
+TEST(Taf, AllZeroWindowIsStable) {
+  std::vector<double> storage;
+  TafState taf = make_state({3, 8, 0.1}, 1, storage);
+  double v[1] = {0.0};
+  for (int i = 0; i < 3; ++i) taf.record_accurate(v);
+  EXPECT_TRUE(taf.should_approximate());
+  double out[1] = {99.0};
+  taf.predict(out);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(Taf, MultiOutputUsesWorstDimension) {
+  std::vector<double> storage;
+  TafState taf = make_state({2, 4, 0.05}, 2, storage);
+  // Dimension 0 constant, dimension 1 varying: must not activate.
+  double a[2] = {5.0, 1.0};
+  double b[2] = {5.0, 3.0};
+  taf.record_accurate(a);
+  taf.record_accurate(b);
+  EXPECT_FALSE(taf.should_approximate());
+}
+
+TEST(Taf, PredictWithoutHistoryYieldsZeros) {
+  std::vector<double> storage;
+  TafState taf = make_state({2, 4, 0.5}, 2, storage);
+  EXPECT_FALSE(taf.has_prediction());
+  double out[2] = {1.0, 1.0};
+  taf.predict(out);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+TEST(Taf, StorageAccounting) {
+  EXPECT_EQ(TafState::storage_doubles(3, 2), 3u * 2u + 2u);
+  EXPECT_EQ(TafState::footprint_bytes(3, 2), (3u * 2u + 2u) * 8u + 16u);
+  std::vector<double> small(2);
+  EXPECT_THROW(TafState({3, 4, 0.5}, 1, small), Error);
+}
+
+// Property: for any history/prediction sizes, feeding a constant stream
+// yields the approximation duty cycle p / (h + p) after the first window.
+class TafDutyCycle : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TafDutyCycle, ConstantStreamDutyCycle) {
+  const auto [h, p] = GetParam();
+  std::vector<double> storage;
+  TafState taf = make_state({h, p, 0.5}, 1, storage);
+  int approximated = 0;
+  const int total = 1000;
+  for (int i = 0; i < total; ++i) {
+    if (taf.should_approximate()) {
+      double out[1];
+      taf.predict(out);
+      ++approximated;
+    } else {
+      double v[1] = {42.0};
+      taf.record_accurate(v);
+    }
+  }
+  const double expected = static_cast<double>(p) / (h + p);
+  EXPECT_NEAR(static_cast<double>(approximated) / total, expected, 0.05)
+      << "h=" << h << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, TafDutyCycle,
+                         ::testing::Values(std::make_tuple(1, 2), std::make_tuple(2, 8),
+                                           std::make_tuple(3, 16), std::make_tuple(5, 64),
+                                           std::make_tuple(5, 512), std::make_tuple(4, 4)));
