@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "harness/benchmark.hpp"
@@ -48,6 +49,10 @@ class BinomialOptions : public harness::Benchmark {
 
   harness::RunOutput run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
                          const sim::DeviceConfig& device) override;
+
+  std::unique_ptr<harness::Benchmark> fork() const override {
+    return std::make_unique<BinomialOptions>(*this);
+  }
 
   /// Reference binomial-tree price (used by unit tests).
   static double tree_price(double spot, double strike, double expiry, int steps, double rate,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "harness/benchmark.hpp"
@@ -35,6 +36,10 @@ class Blackscholes : public harness::Benchmark {
 
   harness::RunOutput run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
                          const sim::DeviceConfig& device) override;
+
+  std::unique_ptr<harness::Benchmark> fork() const override {
+    return std::make_unique<Blackscholes>(*this);
+  }
 
   /// Reference closed-form call price (used by unit tests).
   static double call_price(double spot, double strike, double rate, double volatility,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "harness/benchmark.hpp"
@@ -44,6 +45,10 @@ class Lulesh : public harness::Benchmark {
 
   harness::RunOutput run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
                          const sim::DeviceConfig& device) override;
+
+  std::unique_ptr<harness::Benchmark> fork() const override {
+    return std::make_unique<Lulesh>(*this);
+  }
 
   const Params& params() const { return params_; }
 

@@ -1,0 +1,82 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace hpac {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t w = 0; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) return;
+    seen_generation = generation_;
+    while (next_ < count_) {
+      const std::size_t index = next_++;
+      ++active_;
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        (*body_)(worker_id, index);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      --active_;
+      if (err) {
+        if (!error_) error_ = err;
+        next_ = count_;  // abandon unstarted indices
+      }
+      if (next_ >= count_ && active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) body(0, i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  body_ = &body;
+  count_ = count;
+  next_ = 0;
+  active_ = 0;
+  error_ = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return next_ >= count_ && active_ == 0; });
+  body_ = nullptr;
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+std::size_t ThreadPool::recommended_threads(std::size_t requested, std::size_t count) {
+  std::size_t threads = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  return std::min(threads, std::max<std::size_t>(count, 1));
+}
+
+}  // namespace hpac

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpac {
+
+/// A small fixed-size host thread pool for fan-out/join workloads such as
+/// the Explorer's configuration sweep. Workers are spawned once and reused
+/// across `parallel_for` calls; each invocation hands every worker a stable
+/// id in [0, size()) so callers can keep per-worker state (e.g. a forked
+/// benchmark) without synchronization.
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers. A pool of size 0 is valid: `parallel_for`
+  /// then runs every index inline on the calling thread (worker id 0).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run `body(worker_id, index)` for every index in [0, count), blocking
+  /// until all indices complete. Indices are claimed dynamically, so uneven
+  /// task costs balance across workers. If a body throws, remaining
+  /// unstarted indices are abandoned and the first exception is rethrown
+  /// here once in-flight work drains.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Worker count worth using for `count` independent tasks: `requested`
+  /// if nonzero, otherwise the hardware concurrency; clamped to `count`
+  /// and never less than 1.
+  static std::size_t recommended_threads(std::size_t requested, std::size_t count);
+
+ private:
+  void worker_loop(std::size_t worker_id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t count_ = 0;   ///< total indices of the current job
+  std::size_t next_ = 0;    ///< next unclaimed index
+  std::size_t active_ = 0;  ///< workers currently inside `body`
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace hpac

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,15 @@ class Benchmark {
   /// deterministic for a fixed (spec, items_per_thread, device) triple.
   virtual RunOutput run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
                         const sim::DeviceConfig& device) = 0;
+
+  /// Create an independent copy of this benchmark — same workload, same
+  /// deterministic seed — that another thread can drive concurrently. The
+  /// Explorer gives each sweep worker its own fork so `run`'s mutable app
+  /// state is never shared. Benchmarks with copyable state implement this
+  /// as `return std::make_unique<Derived>(*this);`. Returning nullptr
+  /// (the default) declares the benchmark non-forkable and makes the
+  /// Explorer fall back to a serial sweep.
+  virtual std::unique_ptr<Benchmark> fork() const { return nullptr; }
 
   /// Compute the quality-loss percentage of `approx` against `accurate`
   /// using this benchmark's metric.

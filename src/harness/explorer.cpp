@@ -1,14 +1,18 @@
 #include "harness/explorer.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hpac::harness {
 
 Explorer::Explorer(Benchmark& benchmark, sim::DeviceConfig device)
     : benchmark_(benchmark), device_(std::move(device)) {}
 
-double Explorer::scoped_seconds(const RunOutput& output) const {
-  return benchmark_.timing_scope() == TimingScope::kKernelOnly
+double Explorer::scoped_seconds(const Benchmark& bench, const RunOutput& output) {
+  return bench.timing_scope() == TimingScope::kKernelOnly
              ? output.timeline.kernel_seconds
              : output.timeline.end_to_end_seconds();
 }
@@ -18,46 +22,97 @@ const RunOutput& Explorer::baseline() {
     pragma::ApproxSpec none;
     baseline_output_ =
         benchmark_.run(none, benchmark_.default_items_per_thread(), device_);
-    baseline_seconds_ = scoped_seconds(baseline_output_);
+    baseline_seconds_ = scoped_seconds(benchmark_, baseline_output_);
     have_baseline_ = true;
   }
   return baseline_output_;
 }
 
-RunRecord Explorer::run_config(const pragma::ApproxSpec& spec,
-                               std::uint64_t items_per_thread) {
-  baseline();
+RunRecord Explorer::evaluate(Benchmark& bench, const pragma::ApproxSpec& spec,
+                             std::uint64_t items_per_thread) const {
   RunRecord record;
-  record.benchmark = benchmark_.name();
+  record.benchmark = bench.name();
   record.device = device_.name;
   record.items_per_thread = items_per_thread;
   record.set_spec(spec);
   try {
-    const RunOutput output = benchmark_.run(spec, items_per_thread, device_);
-    const double seconds = scoped_seconds(output);
-    record.speedup = seconds > 0 ? baseline_seconds_ / seconds : 0.0;
-    record.error_percent = benchmark_.error_percent(baseline_output_, output);
+    const RunOutput output = bench.run(spec, items_per_thread, device_);
+    const double seconds = scoped_seconds(bench, output);
+    record.error_percent = bench.error_percent(baseline_output_, output);
     record.approx_ratio = output.stats.approx_ratio();
     record.kernel_seconds = output.timeline.kernel_seconds;
     record.end_to_end_seconds = output.timeline.end_to_end_seconds();
     record.iterations = output.iterations;
     record.baseline_iterations = baseline_output_.iterations;
+    if (seconds > 0 && baseline_seconds_ > 0) {
+      record.speedup = baseline_seconds_ / seconds;
+    } else {
+      // A non-positive scoped time — on either side of the ratio — is a
+      // degenerate measurement, not a legitimate infinite/zero speedup;
+      // flag it rather than recording speedup = 0 as if the
+      // configuration had run.
+      record.feasible = false;
+      record.note = "degenerate run: non-positive measured time";
+    }
   } catch (const ConfigError& e) {
     record.feasible = false;
     record.note = e.what();
   }
+  return record;
+}
+
+RunRecord Explorer::run_config(const pragma::ApproxSpec& spec,
+                               std::uint64_t items_per_thread) {
+  baseline();
+  RunRecord record = evaluate(benchmark_, spec, items_per_thread);
   db_.add(record);
   return record;
 }
 
 std::size_t Explorer::sweep(const std::vector<pragma::ApproxSpec>& specs,
-                            const std::vector<std::uint64_t>& items_per_thread) {
-  std::size_t feasible = 0;
-  for (const auto& spec : specs) {
-    for (std::uint64_t ipt : items_per_thread) {
-      const RunRecord record = run_config(spec, ipt);
-      if (record.feasible) ++feasible;
+                            const std::vector<std::uint64_t>& items_per_thread,
+                            std::size_t num_threads) {
+  const std::size_t ipt_count = items_per_thread.size();
+  const std::size_t total = specs.size() * ipt_count;
+  if (total == 0) return 0;
+
+  // The lazy baseline init is not thread-safe; compute it eagerly so the
+  // workers below only ever read baseline state.
+  baseline();
+
+  const std::size_t workers = ThreadPool::recommended_threads(num_threads, total);
+  std::vector<std::unique_ptr<Benchmark>> forks;
+  if (workers > 1) {
+    forks.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      auto fork = benchmark_.fork();
+      if (!fork) {
+        forks.clear();  // non-forkable benchmark: fall back to serial
+        break;
+      }
+      forks.push_back(std::move(fork));
     }
+  }
+
+  std::vector<RunRecord> records(total);
+  auto eval_at = [&](Benchmark& bench, std::size_t index) {
+    records[index] =
+        evaluate(bench, specs[index / ipt_count], items_per_thread[index % ipt_count]);
+  };
+
+  if (forks.empty()) {
+    for (std::size_t index = 0; index < total; ++index) eval_at(benchmark_, index);
+  } else {
+    ThreadPool pool(forks.size());
+    pool.parallel_for(total, [&](std::size_t worker, std::size_t index) {
+      eval_at(*forks[worker], index);
+    });
+  }
+
+  std::size_t feasible = 0;
+  for (auto& record : records) {
+    if (record.feasible) ++feasible;
+    db_.add(std::move(record));
   }
   return feasible;
 }

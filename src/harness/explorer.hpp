@@ -30,17 +30,33 @@ class Explorer {
   /// matching a harness that logs and moves on.
   RunRecord run_config(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread);
 
-  /// Evaluate the cross product specs x items-per-thread, appending to
-  /// the database. Returns the number of feasible configurations.
+  /// Evaluate the cross product specs x items-per-thread, appending to the
+  /// database in deterministic (spec-index, items-per-thread-index) order.
+  /// When the benchmark is forkable (Benchmark::fork) and more than one
+  /// worker is available, configurations are evaluated concurrently on a
+  /// host thread pool — each worker drives its own fork, the baseline is
+  /// computed eagerly before the fan-out, and the resulting ResultDb (and
+  /// its CSV) is byte-identical to a serial sweep. `num_threads == 0`
+  /// means "use the hardware concurrency"; pass 1 to force the serial
+  /// path. Returns the number of feasible configurations.
   std::size_t sweep(const std::vector<pragma::ApproxSpec>& specs,
-                    const std::vector<std::uint64_t>& items_per_thread);
+                    const std::vector<std::uint64_t>& items_per_thread,
+                    std::size_t num_threads = 0);
 
   ResultDb& db() { return db_; }
   const ResultDb& db() const { return db_; }
   const sim::DeviceConfig& device() const { return device_; }
 
  private:
-  double scoped_seconds(const RunOutput& output) const;
+  /// Seconds of `output` under `bench`'s timing scope.
+  static double scoped_seconds(const Benchmark& bench, const RunOutput& output);
+
+  /// Build the record for one configuration, driving `bench` (the main
+  /// benchmark or a per-worker fork). Requires the baseline to have been
+  /// computed; does not touch the database, so concurrent calls on
+  /// distinct forks are safe.
+  RunRecord evaluate(Benchmark& bench, const pragma::ApproxSpec& spec,
+                     std::uint64_t items_per_thread) const;
 
   Benchmark& benchmark_;
   sim::DeviceConfig device_;

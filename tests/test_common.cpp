@@ -6,12 +6,17 @@
 #include <cmath>
 #include <sstream>
 
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 
 using namespace hpac;
 
@@ -242,4 +247,68 @@ TEST(TextTable, AlignsColumns) {
 TEST(TextTable, RejectsWrongWidth) {
   TextTable t({"a"});
   EXPECT_THROW(t.add_row({"1", "2"}), Error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<int> hits(257, 0);
+  // Distinct indices write distinct slots, so no synchronization needed.
+  pool.parallel_for(hits.size(), [&](std::size_t, std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+}
+
+TEST(ThreadPool, IsReusableAcrossJobs) {
+  ThreadPool pool(2);
+  int total = 0;
+  for (int job = 0; job < 5; ++job) {
+    std::vector<int> hits(64, 0);
+    pool.parallel_for(hits.size(), [&](std::size_t, std::size_t i) { hits[i] = 1; });
+    total += std::accumulate(hits.begin(), hits.end(), 0);
+  }
+  EXPECT_EQ(total, 5 * 64);
+}
+
+TEST(ThreadPool, WorkerIdsAreStableAndInRange) {
+  ThreadPool pool(3);
+  std::vector<int> seen(64, -1);
+  pool.parallel_for(seen.size(), [&](std::size_t worker, std::size_t i) {
+    seen[i] = static_cast<int>(worker);
+  });
+  for (int worker : seen) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 3);
+  }
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::vector<int> hits(8, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t worker, std::size_t i) {
+    EXPECT_EQ(worker, 0u);
+    hits[i] = 1;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 8);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [](std::size_t, std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after a failed job.
+  std::vector<int> hits(4, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t, std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 4);
+}
+
+TEST(ThreadPool, RecommendedThreadsClamps) {
+  EXPECT_EQ(ThreadPool::recommended_threads(8, 3), 3u);
+  EXPECT_EQ(ThreadPool::recommended_threads(2, 100), 2u);
+  EXPECT_EQ(ThreadPool::recommended_threads(5, 0), 1u);
+  EXPECT_GE(ThreadPool::recommended_threads(0, 100), 1u);
 }

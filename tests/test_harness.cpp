@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <sstream>
 
 #include "harness/analysis.hpp"
 #include "pragma/parser.hpp"
@@ -83,6 +85,10 @@ class ToyBenchmark : public Benchmark {
  public:
   std::string name() const override { return "toy"; }
 
+  std::unique_ptr<Benchmark> fork() const override {
+    return std::make_unique<ToyBenchmark>(*this);
+  }
+
   RunOutput run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
                 const sim::DeviceConfig& device) override {
     const std::uint64_t n = 1 << 12;
@@ -108,6 +114,20 @@ class ToyBenchmark : public Benchmark {
     output.stats = report.stats;
     output.qoi = std::move(out);
     output.iterations = 10;
+    return output;
+  }
+};
+
+/// A benchmark whose timeline is all zeros: every scoped measurement is
+/// degenerate (non-positive seconds).
+class ZeroTimeBenchmark : public Benchmark {
+ public:
+  std::string name() const override { return "zero_time"; }
+
+  RunOutput run(const pragma::ApproxSpec&, std::uint64_t,
+                const sim::DeviceConfig&) override {
+    RunOutput output;
+    output.qoi = {1.0, 2.0, 3.0};
     return output;
   }
 };
@@ -151,6 +171,57 @@ TEST(Explorer, RecordsDenormalizedParameters) {
   EXPECT_DOUBLE_EQ(record.threshold, 1.5);
   EXPECT_EQ(record.level, pragma::HierarchyLevel::kWarp);
   EXPECT_EQ(record.technique, pragma::Technique::kTafMemo);
+}
+
+TEST(Explorer, DegenerateRunIsInfeasibleNotZeroSpeedup) {
+  ZeroTimeBenchmark zero;
+  Explorer explorer(zero, sim::v100());
+  pragma::ApproxSpec none;
+  const auto record = explorer.run_config(none, 1);
+  EXPECT_FALSE(record.feasible);
+  EXPECT_NE(record.note.find("non-positive"), std::string::npos);
+  EXPECT_DOUBLE_EQ(record.speedup, 0.0);
+}
+
+TEST(Explorer, ParallelSweepMatchesSerialByteForByte) {
+  // >= 32 configurations: 14 curated perforation specs x 3 ipt values.
+  const auto specs = curated_perfo_specs();
+  const std::vector<std::uint64_t> ipt_axis{1, 4, 8};
+  ASSERT_GE(specs.size() * ipt_axis.size(), 32u);
+
+  ToyBenchmark serial_bench, parallel_bench;
+  Explorer serial(serial_bench, sim::v100());
+  Explorer parallel(parallel_bench, sim::v100());
+  const std::size_t serial_feasible = serial.sweep(specs, ipt_axis, 1);
+  const std::size_t parallel_feasible = parallel.sweep(specs, ipt_axis, 4);
+
+  EXPECT_EQ(serial_feasible, parallel_feasible);
+  ASSERT_EQ(serial.db().size(), parallel.db().size());
+  for (std::size_t i = 0; i < serial.db().size(); ++i) {
+    const auto& a = serial.db().records()[i];
+    const auto& b = parallel.db().records()[i];
+    EXPECT_EQ(a.spec_text, b.spec_text) << "row " << i;
+    EXPECT_EQ(a.items_per_thread, b.items_per_thread) << "row " << i;
+    EXPECT_EQ(a.feasible, b.feasible) << "row " << i;
+    EXPECT_DOUBLE_EQ(a.speedup, b.speedup) << "row " << i;
+    EXPECT_DOUBLE_EQ(a.error_percent, b.error_percent) << "row " << i;
+  }
+
+  std::ostringstream serial_csv, parallel_csv;
+  serial.db().to_csv().write(serial_csv);
+  parallel.db().to_csv().write(parallel_csv);
+  EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+}
+
+TEST(Explorer, NonForkableBenchmarkStillSweeps) {
+  // ZeroTimeBenchmark keeps the default fork() == nullptr, so a
+  // multi-threaded sweep must quietly fall back to the serial path.
+  ZeroTimeBenchmark zero;
+  Explorer explorer(zero, sim::v100());
+  pragma::ApproxSpec none;
+  const std::size_t feasible = explorer.sweep({none, none}, {1, 2, 4}, 4);
+  EXPECT_EQ(feasible, 0u);  // all runs are degenerate for this benchmark
+  EXPECT_EQ(explorer.db().size(), 6u);
 }
 
 TEST(Analysis, BestUnderErrorPicksFastestQualifying) {

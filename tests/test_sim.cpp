@@ -31,6 +31,31 @@ TEST(Device, LookupByName) {
   EXPECT_THROW(device_by_name("tpu"), ConfigError);
 }
 
+TEST(Device, AliasAndCaseInsensitiveRoundTrips) {
+  // Vendor aliases resolve to the canonical presets regardless of case...
+  EXPECT_EQ(device_by_name("NVIDIA").name, "v100");
+  EXPECT_EQ(device_by_name("NvIdIa").name, "v100");
+  EXPECT_EQ(device_by_name("amd").name, "mi250x");
+  EXPECT_EQ(device_by_name("Amd").name, "mi250x");
+  EXPECT_EQ(device_by_name("V100").name, "v100");
+  EXPECT_EQ(device_by_name("MI250X").name, "mi250x");
+  // ...and the canonical name a lookup returns looks itself up again.
+  EXPECT_EQ(device_by_name(device_by_name("NVIDIA").name).name, "v100");
+  EXPECT_EQ(device_by_name(device_by_name("amd").name).name, "mi250x");
+}
+
+TEST(Device, UnknownPresetThrowsConfigError) {
+  EXPECT_THROW(device_by_name("h100"), ConfigError);
+  EXPECT_THROW(device_by_name(""), ConfigError);
+  EXPECT_THROW(device_by_name("v100 "), ConfigError);  // no trimming promised
+  try {
+    device_by_name("gaudi");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("gaudi"), std::string::npos);
+  }
+}
+
 TEST(Device, TransferTimeIsLatencyPlusBandwidth) {
   DeviceConfig d = v100();
   const double just_latency = d.transfer_seconds(0);
