@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/strings.hpp"
 #include "harness/params.hpp"
 #include "harness/record.hpp"
@@ -25,8 +26,6 @@ struct Options {
 
 inline Options parse_options(int argc, char** argv) {
   Options opts;
-  bool nvidia = true;
-  bool amd = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--full") {
@@ -35,22 +34,34 @@ inline Options parse_options(int argc, char** argv) {
     } else if (arg == "--quick") {
       opts.density = harness::SweepDensity::kQuick;
       opts.curated_only = false;
-    } else if (arg == "--device=v100" || arg == "--device=nvidia") {
-      amd = false;
-    } else if (arg == "--device=mi250x" || arg == "--device=amd") {
-      nvidia = false;
+    } else if (arg.rfind("--device=", 0) == 0) {
+      // Any preset sim::device_by_name knows, repeatable for multi-device
+      // runs: --device=v100 --device=a100. Aliases of an already-selected
+      // preset (--device=v100 --device=nvidia) are deduplicated so a
+      // device is never swept — and its CSV never overwritten — twice.
+      try {
+        sim::DeviceConfig device = sim::device_by_name(arg.substr(9));
+        bool duplicate = false;
+        for (const auto& existing : opts.devices) duplicate |= existing.name == device.name;
+        if (!duplicate) opts.devices.push_back(std::move(device));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+      }
     } else if (arg.rfind("--out-dir=", 0) == 0) {
       opts.out_dir = arg.substr(10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--full|--quick] [--device=v100|mi250x] [--out-dir=DIR]\n"
-                   "  default: curated fixed-budget sweep on both platforms\n",
+                   "usage: %s [--full|--quick] [--device=v100|mi250x|a100]... [--out-dir=DIR]\n"
+                   "  default: curated fixed-budget sweep on the paper's two platforms\n",
                    argv[0]);
       std::exit(2);
     }
   }
-  if (nvidia) opts.devices.push_back(sim::v100());
-  if (amd) opts.devices.push_back(sim::mi250x());
+  if (opts.devices.empty()) {
+    opts.devices.push_back(sim::v100());
+    opts.devices.push_back(sim::mi250x());
+  }
   return opts;
 }
 

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   const double kMaxError = 10.0;
 
   std::vector<double> best_speedups;  // for the geomean headline
+  ResultDb cross_device;              // for the portability comparison
   for (const auto& device : opts.devices) {
     std::printf("--- platform: %s (%d SMs, warp %d) ---\n", device.name.c_str(),
                 device.num_sms, device.warp_size);
@@ -105,7 +106,20 @@ int main(int argc, char** argv) {
                     bench::fmt(stats::percentile(errors, 100))});
     }
     std::printf("%s\n", dist.render().c_str());
+    for (const auto& r : all.records()) cross_device.add(r);
     bench::save_db(all, opts, "fig06_" + device.name);
+  }
+
+  // Portability comparison: the same directives on every platform swept.
+  if (opts.devices.size() > 1) {
+    TextTable portability({"device", "geomean best (<10% err)", "feasible", "configs"});
+    for (const auto& row : per_device_geomean_best(cross_device.records(), kMaxError)) {
+      portability.add_row({row.device,
+                           row.geomean_best > 0 ? strings::format("%.2fx", row.geomean_best)
+                                                : "-",
+                           std::to_string(row.feasible), std::to_string(row.total)});
+    }
+    std::printf("%s\n", portability.render().c_str());
   }
 
   if (!best_speedups.empty()) {

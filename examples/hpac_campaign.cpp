@@ -1,0 +1,154 @@
+// hpac_campaign — resumable suite-wide sweeps across devices.
+//
+// Evaluates the cross product of benchmarks x device presets x curated
+// approximation specs x items-per-thread on a thread pool, checkpointing
+// every completed record to the --csv file. Kill it at any point and run
+// the identical command again: already-evaluated configurations are
+// restored from the checkpoint and only the missing ones run, ending with
+// the same CSV an uninterrupted campaign would have produced.
+//
+// Examples:
+//   hpac_campaign --csv=campaign.csv
+//   hpac_campaign --benchmarks=kmeans,lulesh --devices=v100,mi250x,a100
+//                 --ipt=8,64 --csv=campaign.csv   (one command line)
+//   hpac_campaign --sweep=perfo --threads=4 --csv=perfo.csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "harness/analysis.hpp"
+#include "harness/campaign.hpp"
+#include "harness/params.hpp"
+
+using namespace hpac;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--benchmarks=a,b,...] [--devices=v100,mi250x,a100]\n"
+               "          [--sweep=curated|taf|iact|perfo] [--ipt=8,64]\n"
+               "          [--threads=N] [--max-error=PCT] [--csv=FILE]\n\n"
+               "Defaults: all benchmarks, the paper's two devices, the curated\n"
+               "spec sets. --csv doubles as the resume checkpoint.\n\nbenchmarks:",
+               argv0);
+  for (const auto& name : apps::benchmark_names()) std::fprintf(stderr, " %s", name.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+std::vector<std::string> parse_list(const std::string& csv_list) {
+  std::vector<std::string> out;
+  for (const auto& item : strings::split(csv_list, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+[[noreturn]] void bad_value(const char* flag, const std::string& value) {
+  std::fprintf(stderr, "error: %s needs a positive number, got \"%s\"\n", flag, value.c_str());
+  std::exit(2);
+}
+
+std::uint64_t parse_count(const char* flag, const std::string& value, bool allow_zero) {
+  long long parsed = 0;
+  if (!strings::parse_int(value, parsed) || parsed < 0 || (!allow_zero && parsed == 0)) {
+    bad_value(flag, value);
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::CampaignPlan plan;
+  plan.benchmarks = apps::benchmark_names();
+  plan.devices = {"v100", "mi250x"};
+  std::string sweep = "curated";
+  double max_error = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* key) -> std::optional<std::string> {
+      const std::string prefix = std::string(key) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = value("--benchmarks")) plan.benchmarks = parse_list(*v);
+    else if (auto v2 = value("--devices")) plan.devices = parse_list(*v2);
+    else if (auto v3 = value("--sweep")) sweep = *v3;
+    else if (auto v4 = value("--csv")) plan.output_path = *v4;
+    else if (auto v5 = value("--threads")) {
+      plan.num_threads = parse_count("--threads", *v5, /*allow_zero=*/true);
+    } else if (auto v6 = value("--max-error")) {
+      if (!strings::parse_double(*v6, max_error) || max_error <= 0) {
+        bad_value("--max-error", *v6);
+      }
+    } else if (auto v7 = value("--ipt")) {
+      plan.items_per_thread.clear();
+      for (const auto& item : parse_list(*v7)) {
+        plan.items_per_thread.push_back(parse_count("--ipt", item, /*allow_zero=*/false));
+      }
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (sweep == "taf") {
+    plan.specs_for = [](const sim::DeviceConfig&) {
+      return harness::curated_taf_specs(harness::table2::hierarchies());
+    };
+  } else if (sweep == "iact") {
+    plan.specs_for = [](const sim::DeviceConfig& d) {
+      return harness::curated_iact_specs(d.warp_size, harness::table2::hierarchies());
+    };
+  } else if (sweep == "perfo") {
+    plan.specs_for = [](const sim::DeviceConfig&) { return harness::curated_perfo_specs(); };
+  } else if (sweep != "curated") {
+    usage(argv[0]);
+  }
+
+  std::size_t progress = 0;
+  plan.on_record = [&progress](const harness::RunRecord& r) {
+    ++progress;
+    if (progress % 50 == 0) {
+      std::printf("  ... %zu records (latest: %s on %s)\n", progress, r.benchmark.c_str(),
+                  r.device.c_str());
+    }
+  };
+
+  try {
+    harness::Campaign campaign(plan);
+    std::printf("campaign: %zu benchmarks x %zu devices, %zu items-per-thread values%s\n",
+                plan.benchmarks.size(), plan.devices.size(), plan.items_per_thread.size(),
+                plan.output_path.empty() ? " (in-memory, no checkpoint)" : "");
+    const harness::CampaignResult result = campaign.run();
+    std::printf("planned %zu tuples: %zu restored from checkpoint, %zu evaluated, "
+                "%zu feasible%s\n",
+                result.planned, result.restored, result.evaluated, result.feasible,
+                result.stale ? strings::format(" (%zu stale rows dropped)", result.stale).c_str()
+                             : "");
+
+    TextTable table({"device", "geomean best", "feasible", "configs"});
+    for (const auto& row :
+         harness::per_device_geomean_best(result.db.records(), max_error)) {
+      table.add_row({row.device,
+                     row.geomean_best > 0 ? strings::format("%.2fx", row.geomean_best) : "-",
+                     std::to_string(row.feasible), std::to_string(row.total)});
+    }
+    std::printf("\nper-device best under %.1f%% error (the paper's portability view):\n%s",
+                max_error, table.render().c_str());
+    if (!plan.output_path.empty()) {
+      std::printf("\nresults in %s — rerun the same command to verify resume is a no-op\n",
+                  plan.output_path.c_str());
+    }
+  } catch (const hpac::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,13 @@ std::vector<std::string> benchmark_names() {
           "blackscholes", "lavamd",    "kmeans"};
 }
 
+bool is_benchmark(const std::string& name) {
+  for (const auto& known : benchmark_names()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
 std::unique_ptr<harness::Benchmark> make_benchmark(const std::string& name) {
   if (name == "lulesh") return std::make_unique<Lulesh>();
   if (name == "leukocyte") return std::make_unique<Leukocyte>();

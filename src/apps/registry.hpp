@@ -11,6 +11,11 @@ namespace hpac::apps {
 /// Names of all reproduced benchmarks (Table 1), in the paper's order.
 std::vector<std::string> benchmark_names();
 
+/// Whether `name` is a registered benchmark, without constructing its
+/// (potentially large) synthetic workload — used by campaign planning to
+/// reject bad plans before any work starts.
+bool is_benchmark(const std::string& name);
+
 /// Construct a benchmark by name with its default (bench-scale) workload.
 /// Throws hpac::ConfigError for unknown names.
 std::unique_ptr<harness::Benchmark> make_benchmark(const std::string& name);

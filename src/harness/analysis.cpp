@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <tuple>
 
 #include "common/error.hpp"
 
@@ -109,6 +110,34 @@ double geomean_best_speedup(const std::vector<RunRecord>& records, double max_er
   for (const auto& [key, speedup] : best) values.push_back(speedup);
   if (values.empty()) return 0.0;
   return stats::geomean(values);
+}
+
+std::vector<DeviceBest> per_device_geomean_best(const std::vector<RunRecord>& records,
+                                                double max_error_percent) {
+  // Single pass over the database — no per-device record copies; campaign
+  // databases reach paper scale (tens of thousands of rows).
+  std::map<std::string, DeviceBest> summary;
+  std::map<std::tuple<std::string, std::string, std::string>, double> best;
+  for (const auto& r : records) {
+    auto [it, inserted] = summary.try_emplace(r.device);
+    if (inserted) it->second.device = r.device;
+    ++it->second.total;
+    if (!r.feasible) continue;
+    ++it->second.feasible;
+    if (r.error_percent >= max_error_percent) continue;
+    auto key = std::make_tuple(r.device, r.benchmark, pragma::technique_name(r.technique));
+    auto best_it = best.find(key);
+    if (best_it == best.end() || r.speedup > best_it->second) best[std::move(key)] = r.speedup;
+  }
+  std::map<std::string, std::vector<double>> speedups;
+  for (const auto& [key, speedup] : best) speedups[std::get<0>(key)].push_back(speedup);
+  std::vector<DeviceBest> out;
+  for (auto& [device, row] : summary) {
+    const auto it = speedups.find(device);
+    if (it != speedups.end()) row.geomean_best = stats::geomean(it->second);
+    out.push_back(std::move(row));
+  }
+  return out;
 }
 
 }  // namespace hpac::harness

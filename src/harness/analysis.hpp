@@ -52,4 +52,19 @@ ConvergenceCorrelation convergence_correlation(const std::vector<RunRecord>& rec
 /// the paper's "geomean speedup 1.42x" headline aggregation.
 double geomean_best_speedup(const std::vector<RunRecord>& records, double max_error_percent);
 
+/// One device's row of the portability comparison (the paper evaluates the
+/// same directives on NVIDIA and AMD and contrasts the achievable gains).
+struct DeviceBest {
+  std::string device;
+  double geomean_best = 0;      ///< geomean_best_speedup over this device's records
+  std::size_t feasible = 0;     ///< feasible records on this device
+  std::size_t total = 0;        ///< all records on this device
+};
+
+/// Per-device geomean-best table over a multi-device (campaign) database,
+/// sorted by device name. Devices where no record qualifies report a
+/// geomean_best of 0.
+std::vector<DeviceBest> per_device_geomean_best(const std::vector<RunRecord>& records,
+                                                double max_error_percent);
+
 }  // namespace hpac::harness

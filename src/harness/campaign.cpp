@@ -1,0 +1,200 @@
+#include "harness/campaign.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "apps/registry.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+#include "harness/explorer.hpp"
+#include "harness/params.hpp"
+
+namespace hpac::harness {
+
+namespace {
+
+std::vector<pragma::ApproxSpec> curated_specs_for(const sim::DeviceConfig& device) {
+  std::vector<pragma::ApproxSpec> specs = curated_taf_specs(table2::hierarchies());
+  for (auto& s : curated_iact_specs(device.warp_size, table2::hierarchies())) {
+    specs.push_back(std::move(s));
+  }
+  for (auto& s : curated_perfo_specs()) specs.push_back(std::move(s));
+  return specs;
+}
+
+bool file_has_content(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good() && in.peek() != std::char_traits<char>::eof();
+}
+
+}  // namespace
+
+std::string Campaign::tuple_key(const std::string& benchmark, const std::string& device,
+                                const std::string& spec_text,
+                                std::uint64_t items_per_thread) {
+  // '\x1f' (unit separator) cannot appear in names or canonical clause
+  // text, so the join is collision-free.
+  std::string key;
+  key.reserve(benchmark.size() + device.size() + spec_text.size() + 24);
+  key += benchmark;
+  key += '\x1f';
+  key += device;
+  key += '\x1f';
+  key += spec_text;
+  key += '\x1f';
+  key += std::to_string(items_per_thread);
+  return key;
+}
+
+Campaign::Campaign(CampaignPlan plan) : plan_(std::move(plan)) {
+  HPAC_REQUIRE(!plan_.benchmarks.empty(), "campaign needs at least one benchmark");
+  HPAC_REQUIRE(!plan_.devices.empty(), "campaign needs at least one device");
+  HPAC_REQUIRE(!plan_.items_per_thread.empty(),
+               "campaign needs at least one items-per-thread value");
+  for (const std::uint64_t ipt : plan_.items_per_thread) {
+    HPAC_REQUIRE(ipt > 0, "items-per-thread values must be positive");
+  }
+  for (const auto& name : plan_.benchmarks) {
+    if (!apps::is_benchmark(name)) throw ConfigError("unknown benchmark: " + name);
+  }
+
+  // Resolve devices eagerly: a bad preset name fails here, and aliases
+  // ("nvidia" -> "v100") collapse before the uniqueness check below.
+  std::vector<sim::DeviceConfig> devices;
+  devices.reserve(plan_.devices.size());
+  for (const auto& name : plan_.devices) devices.push_back(sim::device_by_name(name));
+
+  std::unordered_set<std::string> seen;
+  for (const auto& device : devices) {
+    const auto specs = std::make_shared<const std::vector<pragma::ApproxSpec>>(
+        plan_.specs_for ? plan_.specs_for(device) : curated_specs_for(device));
+    HPAC_REQUIRE(!specs->empty(), "campaign spec grid is empty for device " + device.name);
+    for (const auto& benchmark : plan_.benchmarks) {
+      Shard shard;
+      shard.benchmark = benchmark;
+      shard.device = device;
+      shard.specs = specs;
+      shard.first_tuple = keys_.size();
+      for (const auto& spec : *shard.specs) {
+        const std::string spec_text = spec.to_string();
+        for (const std::uint64_t ipt : plan_.items_per_thread) {
+          std::string key = tuple_key(benchmark, device.name, spec_text, ipt);
+          HPAC_REQUIRE(seen.insert(key).second,
+                       "duplicate campaign tuple: " + benchmark + " on " + device.name +
+                           " '" + spec_text + "' ipt " + std::to_string(ipt));
+          keys_.push_back(std::move(key));
+        }
+      }
+      shard.tuple_count = keys_.size() - shard.first_tuple;
+      shards_.push_back(std::move(shard));
+    }
+  }
+}
+
+CampaignResult Campaign::run() {
+  CampaignResult result;
+  result.planned = keys_.size();
+  std::vector<RunRecord> records(keys_.size());
+  std::vector<char> done(keys_.size(), 0);
+
+  // --- resume: absorb any checkpoint the output path already holds ---
+  const bool persist = !plan_.output_path.empty();
+  const bool resuming = persist && file_has_content(plan_.output_path);
+  if (resuming) {
+    std::unordered_map<std::string, std::size_t> index_of;
+    index_of.reserve(keys_.size());
+    for (std::size_t i = 0; i < keys_.size(); ++i) index_of.emplace(keys_[i], i);
+    // drop_torn_tail: a writer killed mid-append must not brick resume.
+    const ResultDb checkpoint = ResultDb::load(plan_.output_path, /*drop_torn_tail=*/true);
+    for (const auto& r : checkpoint.records()) {
+      const auto it =
+          index_of.find(tuple_key(r.benchmark, r.device, r.spec_text, r.items_per_thread));
+      if (it == index_of.end() || done[it->second]) {
+        ++result.stale;  // not part of this plan (or a duplicate journal row)
+        continue;
+      }
+      records[it->second] = r;
+      done[it->second] = 1;
+      ++result.restored;
+    }
+  }
+
+  // --- journal: append-mode checkpoint, one flushed row per record ---
+  std::ofstream journal;
+  if (persist) {
+    journal.open(plan_.output_path, std::ios::app);
+    HPAC_REQUIRE(journal.good(), "cannot open campaign output: " + plan_.output_path);
+    if (!resuming) {
+      // An empty table writes exactly the header line, guaranteeing the
+      // journal and the final canonical rewrite share one format.
+      CsvTable(RunRecord::csv_columns()).write(journal);
+      journal.flush();
+    }
+  }
+
+  // Shards that still have work; fully restored pairs never rebuild their
+  // benchmark or rerun the baseline.
+  std::vector<std::size_t> pending;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    for (std::size_t t = 0; t < shard.tuple_count; ++t) {
+      if (!done[shard.first_tuple + t]) {
+        pending.push_back(s);
+        break;
+      }
+    }
+  }
+
+  std::mutex mutex;
+  auto run_shard = [&](std::size_t shard_index) {
+    const Shard& shard = shards_[shard_index];
+    auto app = apps::make_benchmark(shard.benchmark);
+    Explorer explorer(*app, shard.device);  // baseline cached per (benchmark, device)
+    const std::size_t ipt_count = plan_.items_per_thread.size();
+    for (std::size_t t = 0; t < shard.tuple_count; ++t) {
+      const std::size_t index = shard.first_tuple + t;
+      if (done[index]) continue;
+      const RunRecord record = explorer.run_config((*shard.specs)[t / ipt_count],
+                                                   plan_.items_per_thread[t % ipt_count]);
+      std::lock_guard<std::mutex> lock(mutex);
+      records[index] = record;
+      done[index] = 1;
+      if (persist) {
+        write_csv_row(journal, record.to_row());
+        journal.flush();
+      }
+      ++result.evaluated;
+      if (plan_.on_record) plan_.on_record(record);
+    }
+  };
+
+  const std::size_t workers = ThreadPool::recommended_threads(plan_.num_threads, pending.size());
+  if (workers <= 1) {
+    for (const std::size_t shard_index : pending) run_shard(shard_index);
+  } else {
+    ThreadPool pool(workers);
+    pool.parallel_for(pending.size(),
+                      [&](std::size_t, std::size_t i) { run_shard(pending[i]); });
+  }
+
+  // --- canonical assembly and atomic final rewrite ---
+  for (auto& record : records) {
+    result.feasible += record.feasible ? 1 : 0;
+    result.db.add(std::move(record));
+  }
+  if (persist) {
+    journal.close();
+    const std::string tmp = plan_.output_path + ".tmp";
+    result.db.save(tmp);
+    HPAC_REQUIRE(std::rename(tmp.c_str(), plan_.output_path.c_str()) == 0,
+                 "cannot replace campaign output: " + plan_.output_path);
+  }
+  return result;
+}
+
+}  // namespace hpac::harness

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/record.hpp"
+#include "pragma/spec.hpp"
+#include "sim/device.hpp"
+
+namespace hpac::harness {
+
+/// What a Campaign evaluates: the full cross product of registered
+/// benchmarks x device presets x approximation specs x items-per-thread —
+/// the multi-application, multi-platform sweep behind the paper's headline
+/// comparison (Fig. 6 aggregates seven applications on two GPUs).
+struct CampaignPlan {
+  /// Registry names (apps::benchmark_names()); must be non-empty, unique
+  /// and known.
+  std::vector<std::string> benchmarks;
+  /// Device preset names for sim::device_by_name; non-empty and unique.
+  std::vector<std::string> devices;
+  /// Spec grid per device. Device-dependent so warp-size-gated parameters
+  /// (Table 2's 64 tables per warp on AMD) can filter per platform. When
+  /// null, the curated TAF + iACT + perforation sets are used.
+  std::function<std::vector<pragma::ApproxSpec>(const sim::DeviceConfig&)> specs_for;
+  /// Launch-geometry axis, shared by every benchmark; non-empty.
+  std::vector<std::uint64_t> items_per_thread{8, 64};
+  /// Worker threads for the shard fan-out: 0 = hardware concurrency,
+  /// 1 = serial.
+  std::size_t num_threads = 0;
+  /// Checkpoint/result CSV. While running, completed records are appended
+  /// (and flushed) here so a killed campaign loses at most the in-flight
+  /// tuples; on completion the file is rewritten in canonical order.
+  /// Re-running with the same path resumes: already-present tuples are
+  /// not re-evaluated. Empty = in-memory only.
+  std::string output_path;
+  /// Progress observer, invoked once per newly evaluated record. Called
+  /// from worker threads under the campaign's internal lock, so it needs
+  /// no synchronization of its own but must stay cheap. Exceptions it
+  /// throws abort the campaign (after the journal row for the record that
+  /// triggered it was already persisted).
+  std::function<void(const RunRecord&)> on_record;
+};
+
+/// Outcome of Campaign::run.
+struct CampaignResult {
+  std::size_t planned = 0;    ///< tuples in the cross product
+  std::size_t restored = 0;   ///< tuples skipped because the checkpoint had them
+  std::size_t evaluated = 0;  ///< tuples actually run this invocation
+  std::size_t stale = 0;      ///< checkpoint rows not part of this plan (dropped)
+  std::size_t feasible = 0;   ///< feasible records across the whole database
+  ResultDb db;                ///< all records in canonical plan order
+};
+
+/// Multi-benchmark x multi-device sweep driver with persistent resume —
+/// the layer above Explorer that turns one-shot exploration into a
+/// restartable batch job (the way the paper's harness swept 57,288
+/// configurations per benchmark over days of GPU time).
+///
+/// Work is sharded at (benchmark, device) granularity: each shard gets a
+/// freshly constructed benchmark and its own Explorer, so the accurate
+/// baseline is computed once per pair (and never for pairs whose tuples
+/// are all restored from the checkpoint). Shards run concurrently on a
+/// ThreadPool; every tuple is deterministic, so the assembled database —
+/// and the final CSV — is identical regardless of worker count, and a
+/// resumed campaign ends with a CSV byte-identical to an uninterrupted
+/// one.
+class Campaign {
+ public:
+  /// Validates the plan eagerly (unknown benchmark or device names,
+  /// empty axes, duplicate tuple keys) and throws hpac::Error/ConfigError
+  /// before any evaluation work.
+  explicit Campaign(CampaignPlan plan);
+
+  /// Execute (or resume) the campaign. Propagates the first exception a
+  /// shard raises after in-flight shards drain; the checkpoint then holds
+  /// every record completed before the failure.
+  CampaignResult run();
+
+  /// The canonical (benchmark, device, spec, items-per-thread) identity of
+  /// a tuple — the key resume matches checkpoint rows against.
+  static std::string tuple_key(const std::string& benchmark, const std::string& device,
+                               const std::string& spec_text, std::uint64_t items_per_thread);
+
+  const CampaignPlan& plan() const { return plan_; }
+
+ private:
+  struct Shard {
+    std::string benchmark;
+    sim::DeviceConfig device;
+    /// Shared: every shard of a device references one spec vector.
+    std::shared_ptr<const std::vector<pragma::ApproxSpec>> specs;
+    std::size_t first_tuple = 0;  ///< index of the shard's first tuple
+    std::size_t tuple_count = 0;
+  };
+
+  CampaignPlan plan_;
+  std::vector<Shard> shards_;
+  std::vector<std::string> keys_;  ///< canonical key per tuple index
+};
+
+}  // namespace hpac::harness

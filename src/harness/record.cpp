@@ -1,5 +1,7 @@
 #include "harness/record.hpp"
 
+#include "common/error.hpp"
+
 namespace hpac::harness {
 
 void RunRecord::set_spec(const pragma::ApproxSpec& spec) {
@@ -23,29 +25,83 @@ void RunRecord::set_spec(const pragma::ApproxSpec& spec) {
   }
 }
 
+const std::vector<std::string>& RunRecord::csv_columns() {
+  static const std::vector<std::string> columns{
+      "benchmark", "device", "technique", "spec", "level", "items_per_thread",
+      "feasible", "note", "speedup", "error_percent", "approx_ratio",
+      "kernel_seconds", "end_to_end_seconds", "iterations", "baseline_iterations",
+      "threshold", "history_size", "prediction_size", "table_size",
+      "tables_per_warp", "perfo_kind", "perfo_stride", "perfo_fraction"};
+  return columns;
+}
+
+std::vector<CsvCell> RunRecord::to_row() const {
+  return {benchmark, device, pragma::technique_name(technique), spec_text,
+          pragma::hierarchy_name(level), static_cast<long long>(items_per_thread),
+          static_cast<long long>(feasible ? 1 : 0), note, speedup,
+          error_percent, approx_ratio, kernel_seconds, end_to_end_seconds,
+          iterations, baseline_iterations, threshold,
+          static_cast<long long>(history_size),
+          static_cast<long long>(prediction_size),
+          static_cast<long long>(table_size),
+          static_cast<long long>(tables_per_warp), perfo_kind,
+          static_cast<long long>(perfo_stride), perfo_fraction};
+}
+
+RunRecord RunRecord::from_row(const CsvTable& csv, std::size_t row) {
+  RunRecord r;
+  r.benchmark = csv.text_at(row, "benchmark");
+  r.device = csv.text_at(row, "device");
+  r.technique = pragma::technique_from_name(csv.text_at(row, "technique"));
+  r.spec_text = csv.text_at(row, "spec");
+  r.level = pragma::hierarchy_from_name(csv.text_at(row, "level"));
+  r.items_per_thread = static_cast<std::uint64_t>(csv.number_at(row, "items_per_thread"));
+  r.feasible = csv.number_at(row, "feasible") != 0;
+  r.note = csv.text_at(row, "note");
+  r.speedup = csv.number_at(row, "speedup");
+  r.error_percent = csv.number_at(row, "error_percent");
+  r.approx_ratio = csv.number_at(row, "approx_ratio");
+  r.kernel_seconds = csv.number_at(row, "kernel_seconds");
+  r.end_to_end_seconds = csv.number_at(row, "end_to_end_seconds");
+  r.iterations = csv.number_at(row, "iterations");
+  r.baseline_iterations = csv.number_at(row, "baseline_iterations");
+  r.threshold = csv.number_at(row, "threshold");
+  r.history_size = static_cast<int>(csv.number_at(row, "history_size"));
+  r.prediction_size = static_cast<int>(csv.number_at(row, "prediction_size"));
+  r.table_size = static_cast<int>(csv.number_at(row, "table_size"));
+  r.tables_per_warp = static_cast<int>(csv.number_at(row, "tables_per_warp"));
+  r.perfo_kind = csv.text_at(row, "perfo_kind");
+  r.perfo_stride = static_cast<int>(csv.number_at(row, "perfo_stride"));
+  r.perfo_fraction = csv.number_at(row, "perfo_fraction");
+  return r;
+}
+
 void ResultDb::add(RunRecord record) { records_.push_back(std::move(record)); }
 
 CsvTable ResultDb::to_csv() const {
-  CsvTable csv({"benchmark", "device", "technique", "spec", "level", "items_per_thread",
-                "feasible", "note", "speedup", "error_percent", "approx_ratio",
-                "kernel_seconds", "end_to_end_seconds", "iterations", "baseline_iterations",
-                "threshold", "history_size", "prediction_size", "table_size",
-                "tables_per_warp", "perfo_kind", "perfo_stride", "perfo_fraction"});
-  for (const auto& r : records_) {
-    csv.add_row({r.benchmark, r.device, pragma::technique_name(r.technique), r.spec_text,
-                 pragma::hierarchy_name(r.level), static_cast<long long>(r.items_per_thread),
-                 static_cast<long long>(r.feasible ? 1 : 0), r.note, r.speedup,
-                 r.error_percent, r.approx_ratio, r.kernel_seconds, r.end_to_end_seconds,
-                 r.iterations, r.baseline_iterations, r.threshold,
-                 static_cast<long long>(r.history_size),
-                 static_cast<long long>(r.prediction_size),
-                 static_cast<long long>(r.table_size),
-                 static_cast<long long>(r.tables_per_warp), r.perfo_kind,
-                 static_cast<long long>(r.perfo_stride), r.perfo_fraction});
-  }
+  CsvTable csv(RunRecord::csv_columns());
+  for (const auto& r : records_) csv.add_row(r.to_row());
   return csv;
 }
 
 void ResultDb::save(const std::string& path) const { to_csv().save(path); }
+
+ResultDb ResultDb::load(const std::string& path, bool drop_torn_tail) {
+  const CsvTable csv = CsvTable::load_file(path, drop_torn_tail);
+  HPAC_REQUIRE(csv.columns() == RunRecord::csv_columns(),
+               "CSV columns do not match the result database schema: " + path);
+  ResultDb db;
+  for (std::size_t row = 0; row < csv.row_count(); ++row) {
+    try {
+      db.add(RunRecord::from_row(csv, row));
+    } catch (const Error&) {
+      // A torn final row can keep the right cell count yet hold a
+      // truncated numeric cell (e.g. "0." loads as text); drop it too.
+      if (drop_torn_tail && row + 1 == csv.row_count()) break;
+      throw;
+    }
+  }
+  return db;
+}
 
 }  // namespace hpac::harness

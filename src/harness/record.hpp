@@ -42,6 +42,16 @@ struct RunRecord {
 
   /// Populate the denormalized parameter fields from a spec.
   void set_spec(const pragma::ApproxSpec& spec);
+
+  /// The result database's canonical column set, in `to_row` order.
+  static const std::vector<std::string>& csv_columns();
+
+  /// One CSV row (matching `csv_columns`), and its inverse. A record
+  /// round-trips: `from_row` of a loaded `to_row` reproduces every field,
+  /// and re-serializing yields byte-identical CSV — the property campaign
+  /// resume depends on.
+  std::vector<CsvCell> to_row() const;
+  static RunRecord from_row(const CsvTable& csv, std::size_t row);
 };
 
 /// Append-only database of run records, persistable as CSV — the library
@@ -65,6 +75,13 @@ class ResultDb {
   /// Export to CSV (one column per RunRecord field).
   CsvTable to_csv() const;
   void save(const std::string& path) const;
+
+  /// Rehydrate a database previously written by `save`. Throws
+  /// hpac::Error when the file's columns do not match `csv_columns`.
+  /// `drop_torn_tail` additionally tolerates — by dropping — a malformed
+  /// final record, so a journal whose writer was killed mid-append still
+  /// loads (the campaign resume path relies on this).
+  static ResultDb load(const std::string& path, bool drop_torn_tail = false);
 
  private:
   std::vector<RunRecord> records_;

@@ -26,6 +26,21 @@ std::string hierarchy_name(HierarchyLevel level) {
   return "unknown";
 }
 
+Technique technique_from_name(const std::string& name) {
+  if (name == "none") return Technique::kNone;
+  if (name == "taf") return Technique::kTafMemo;
+  if (name == "iact") return Technique::kIactMemo;
+  if (name == "perfo") return Technique::kPerforation;
+  throw ParseError("unknown technique name: " + name);
+}
+
+HierarchyLevel hierarchy_from_name(const std::string& name) {
+  if (name == "thread") return HierarchyLevel::kThread;
+  if (name == "warp") return HierarchyLevel::kWarp;
+  if (name == "block") return HierarchyLevel::kBlock;
+  throw ParseError("unknown hierarchy name: " + name);
+}
+
 std::string perfo_kind_name(PerfoKind kind) {
   switch (kind) {
     case PerfoKind::kSmall: return "small";

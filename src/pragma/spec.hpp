@@ -83,4 +83,9 @@ std::string technique_name(Technique t);
 std::string hierarchy_name(HierarchyLevel level);
 std::string perfo_kind_name(PerfoKind kind);
 
+/// Inverse lookups, used when rehydrating persisted result databases.
+/// Throw hpac::ParseError for names no *_name overload produces.
+Technique technique_from_name(const std::string& name);
+HierarchyLevel hierarchy_from_name(const std::string& name);
+
 }  // namespace hpac::pragma

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
 
@@ -204,6 +205,144 @@ TEST(Csv, UnknownColumnThrows) {
   EXPECT_THROW(t.column_index("missing"), Error);
 }
 
+namespace {
+
+std::string rendered(const CsvTable& t) {
+  std::ostringstream os;
+  t.write(os);
+  return os.str();
+}
+
+}  // namespace
+
+TEST(Csv, LoadRoundTripsSpecialCharacters) {
+  CsvTable t({"text", "more"});
+  t.add_row({std::string("comma, inside"), std::string("plain")});
+  t.add_row({std::string("quote \"q\" here"), std::string("line\nbreak")});
+  t.add_row({std::string("\"leading"), std::string("mix,\"of\"\nall three")});
+  const std::string bytes = rendered(t);
+
+  std::istringstream is(bytes);
+  const CsvTable loaded = CsvTable::load(is);
+  ASSERT_EQ(loaded.row_count(), 3u);
+  EXPECT_EQ(loaded.text_at(0, "text"), "comma, inside");
+  EXPECT_EQ(loaded.text_at(1, "text"), "quote \"q\" here");
+  EXPECT_EQ(loaded.text_at(1, "more"), "line\nbreak");
+  EXPECT_EQ(loaded.text_at(2, "text"), "\"leading");
+  EXPECT_EQ(loaded.text_at(2, "more"), "mix,\"of\"\nall three");
+  EXPECT_EQ(rendered(loaded), bytes);
+}
+
+TEST(Csv, NumericFormattingIsStableAcrossRepeatedRoundTrips) {
+  CsvTable t({"d", "i", "s"});
+  t.add_row({1.0 / 3.0, static_cast<long long>(-7), std::string("x")});
+  t.add_row({1.23456789012e-17, static_cast<long long>(1LL << 60), std::string("42x")});
+  t.add_row({-0.000123456789, static_cast<long long>(0), std::string("")});
+  t.add_row({2.0, static_cast<long long>(9), std::string("1e5")});
+  const std::string first = rendered(t);
+
+  std::istringstream is1(first);
+  const std::string second = rendered(CsvTable::load(is1));
+  std::istringstream is2(second);
+  const std::string third = rendered(CsvTable::load(is2));
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(third, first);
+}
+
+TEST(Csv, LoadRestoresNumericTypes) {
+  CsvTable t({"d", "i"});
+  t.add_row({1.5, static_cast<long long>(7)});
+  std::istringstream is(rendered(t));
+  const CsvTable loaded = CsvTable::load(is);
+  EXPECT_DOUBLE_EQ(loaded.number_at(0, "d"), 1.5);
+  EXPECT_DOUBLE_EQ(loaded.number_at(0, "i"), 7.0);
+  EXPECT_TRUE(std::holds_alternative<double>(loaded.at(0, 0)));
+  EXPECT_TRUE(std::holds_alternative<long long>(loaded.at(0, 1)));
+}
+
+TEST(Csv, LoadKeepsNonCanonicalNumbersAsText) {
+  // "007" parses as 7 but re-formats differently; it must stay a string so
+  // the bytes survive.
+  std::istringstream is("col\n007\n");
+  const CsvTable loaded = CsvTable::load(is);
+  EXPECT_TRUE(std::holds_alternative<std::string>(loaded.at(0, 0)));
+  EXPECT_EQ(rendered(loaded), "col\n007\n");
+}
+
+TEST(Csv, RandomizedRoundTripIsByteIdentical) {
+  // Property test: rows mixing random nasty strings and random numerics
+  // survive write -> load -> write untouched.
+  Xoshiro256 rng(2026);
+  const std::string alphabet = "ab,\"\n x0.-";
+  CsvTable t({"s", "d", "i"});
+  for (int row = 0; row < 200; ++row) {
+    std::string s;
+    const std::size_t len = rng.uniform_index(12);
+    for (std::size_t i = 0; i < len; ++i) s.push_back(alphabet[rng.uniform_index(alphabet.size())]);
+    t.add_row({s, rng.uniform(-1e6, 1e6) * std::pow(10.0, rng.uniform(-12, 12)),
+               static_cast<long long>(rng.next())});
+  }
+  const std::string bytes = rendered(t);
+  std::istringstream is(bytes);
+  EXPECT_EQ(rendered(CsvTable::load(is)), bytes);
+}
+
+TEST(Csv, ReaderHandlesCrlfAndMissingFinalNewline) {
+  std::istringstream is("a,b\r\n1,2\r\n3,4");
+  CsvReader reader(is);
+  const auto header = reader.next_row();
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ((*header)[0], "a");
+  EXPECT_EQ((*header)[1], "b");
+  const auto row1 = reader.next_row();
+  ASSERT_TRUE(row1.has_value());
+  EXPECT_EQ((*row1)[1], "2");
+  const auto row2 = reader.next_row();
+  ASSERT_TRUE(row2.has_value());
+  EXPECT_EQ((*row2)[1], "4");
+  EXPECT_FALSE(reader.next_row().has_value());
+}
+
+TEST(Csv, ReaderSpansQuotedNewlines) {
+  std::istringstream is("\"one\ncell\",two\n");
+  CsvReader reader(is);
+  const auto row = reader.next_row();
+  ASSERT_TRUE(row.has_value());
+  ASSERT_EQ(row->size(), 2u);
+  EXPECT_EQ((*row)[0], "one\ncell");
+  EXPECT_EQ((*row)[1], "two");
+}
+
+TEST(Csv, LoadRejectsMalformedInput) {
+  std::istringstream empty("");
+  EXPECT_THROW(CsvTable::load(empty), Error);
+  std::istringstream ragged("a,b\n1\n");
+  EXPECT_THROW(CsvTable::load(ragged), Error);
+  std::istringstream unterminated("a\n\"open\n");
+  EXPECT_THROW(CsvTable::load(unterminated), Error);
+}
+
+TEST(Csv, LoadFileMissingPathThrows) {
+  EXPECT_THROW(CsvTable::load_file("/nonexistent/dir/f.csv"), Error);
+}
+
+TEST(Csv, DropTornTailRecoversJournalsKilledMidRow) {
+  // The signature of an append-mode journal whose writer died mid-write:
+  // a final record with too few cells ...
+  std::istringstream torn_cells("a,b\n1,2\n3\n");
+  const CsvTable recovered = CsvTable::load(torn_cells, /*drop_torn_tail=*/true);
+  EXPECT_EQ(recovered.row_count(), 1u);
+  // ... or one ending inside a quoted cell.
+  std::istringstream torn_quote("a,b\n1,2\n3,\"unterm");
+  EXPECT_EQ(CsvTable::load(torn_quote, true).row_count(), 1u);
+  // Without the flag both stay hard errors ...
+  std::istringstream strict("a,b\n1,2\n3\n");
+  EXPECT_THROW(CsvTable::load(strict), Error);
+  // ... and a ragged row in the *middle* is corruption either way.
+  std::istringstream mid("a,b\n1\n3,4\n");
+  EXPECT_THROW(CsvTable::load(mid, true), Error);
+}
+
 TEST(Strings, TrimRemovesWhitespace) {
   EXPECT_EQ(strings::trim("  hi \t\n"), "hi");
   EXPECT_EQ(strings::trim(""), "");
@@ -304,6 +443,68 @@ TEST(ThreadPool, PropagatesFirstException) {
   std::vector<int> hits(4, 0);
   pool.parallel_for(hits.size(), [&](std::size_t, std::size_t i) { hits[i] = 1; });
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 4);
+}
+
+TEST(ThreadPool, StressRepeatedThrowingJobsDoNotDeadlock) {
+  // A task throwing mid-sweep must leave the pool consistent: the caller
+  // sees the exception (nothing is dropped silently) and the next job runs
+  // normally. Loop enough times to shake out lost-wakeup interleavings.
+  ThreadPool pool(8);
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::atomic<int> executed{0};
+    try {
+      pool.parallel_for(256, [&](std::size_t, std::size_t i) {
+        if (i % 7 == 0) throw std::runtime_error("boom");
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+      FAIL() << "parallel_for must rethrow";
+    } catch (const std::runtime_error&) {
+    }
+    // Unstarted indices were abandoned, and the caller was told via the
+    // exception; the abandoned count is visible as executed < total.
+    EXPECT_LT(executed.load(), 256);
+    std::atomic<int> clean{0};
+    pool.parallel_for(64, [&](std::size_t, std::size_t) {
+      clean.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(clean.load(), 64);
+  }
+}
+
+TEST(ThreadPool, StressConcurrentThrowsKeepFirstException) {
+  ThreadPool pool(8);
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    EXPECT_THROW(pool.parallel_for(128,
+                                   [&](std::size_t, std::size_t) {
+                                     throw Error("every task throws");
+                                   }),
+                 Error);
+  }
+}
+
+TEST(ThreadPool, ShutdownUnderLoadDoesNotHang) {
+  // Construct, run a job whose tasks are still draining as parallel_for
+  // returns, and destroy immediately — repeatedly. A lost stop notification
+  // or a worker stuck on the generation check would deadlock this loop.
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    ThreadPool pool(4);
+    std::atomic<int> executed{0};
+    pool.parallel_for(64, [&](std::size_t, std::size_t) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(executed.load(), 64);
+  }
+}
+
+TEST(ThreadPool, ShutdownAfterFailedJobDoesNotHang) {
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallel_for(32,
+                                   [](std::size_t, std::size_t i) {
+                                     if (i == 0) throw std::runtime_error("early");
+                                   }),
+                 std::runtime_error);
+  }
 }
 
 TEST(ThreadPool, RecommendedThreadsClamps) {

@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <sstream>
 
+#include "common/error.hpp"
 #include "harness/analysis.hpp"
 #include "pragma/parser.hpp"
 #include "harness/explorer.hpp"
@@ -285,6 +288,194 @@ TEST(Analysis, GeomeanBestTakesPerTechniqueBest) {
   records[2].speedup = 1.0;
   records[2].error_percent = 2.0;
   EXPECT_NEAR(geomean_best_speedup(records, 10.0), std::sqrt(4.0 * 1.0), 1e-12);
+}
+
+TEST(Analysis, DecimateEmptyInputYieldsEmpty) {
+  EXPECT_TRUE(decimate_for_plot({}, 10, 0.1).empty());
+  // All-infeasible input decimates to nothing as well.
+  std::vector<RunRecord> records(3);
+  for (auto& r : records) r.feasible = false;
+  EXPECT_TRUE(decimate_for_plot(records, 10, 0.1).empty());
+}
+
+TEST(Analysis, DecimateSingleRecordSurvives) {
+  std::vector<RunRecord> records(1);
+  records[0].error_percent = 2.5;
+  records[0].speedup = 1.2;
+  const auto kept = decimate_for_plot(records, 10, 0.1);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept[0].speedup, 1.2);
+}
+
+TEST(Analysis, DecimateRejectsNonPositiveIntervals) {
+  std::vector<RunRecord> records(2);
+  EXPECT_THROW(decimate_for_plot(records, 0, 0.1), Error);
+  EXPECT_THROW(decimate_for_plot(records, -4, 0.1), Error);
+  EXPECT_THROW(decimate_for_plot(records, 10, 0.0), Error);
+  EXPECT_THROW(decimate_for_plot(records, 10, 1.5), Error);
+}
+
+TEST(Analysis, GeomeanBestWithNoFeasibleRecordIsZero) {
+  EXPECT_DOUBLE_EQ(geomean_best_speedup({}, 10.0), 0.0);
+  std::vector<RunRecord> records(2);
+  records[0].feasible = false;
+  records[0].speedup = 3.0;
+  records[1].error_percent = 50.0;  // feasible but over the bound
+  records[1].speedup = 2.0;
+  EXPECT_DOUBLE_EQ(geomean_best_speedup(records, 10.0), 0.0);
+}
+
+TEST(Analysis, BestUnderErrorEmptyAndBoundaryCases) {
+  EXPECT_FALSE(best_under_error({}, 10.0).has_value());
+  std::vector<RunRecord> records(1);
+  records[0].error_percent = 10.0;  // the bound is exclusive
+  records[0].speedup = 5.0;
+  EXPECT_FALSE(best_under_error(records, 10.0).has_value());
+  EXPECT_TRUE(errors_under(records, 10.0).empty());
+}
+
+TEST(Analysis, PerDeviceGeomeanBestSplitsByDevice) {
+  std::vector<RunRecord> records(4);
+  records[0].benchmark = "a";
+  records[0].device = "v100";
+  records[0].technique = pragma::Technique::kTafMemo;
+  records[0].speedup = 4.0;
+  records[0].error_percent = 1.0;
+  records[1] = records[0];
+  records[1].device = "mi250x";
+  records[1].speedup = 2.0;
+  records[2] = records[0];
+  records[2].device = "mi250x";
+  records[2].technique = pragma::Technique::kPerforation;
+  records[2].speedup = 8.0;
+  records[3] = records[0];
+  records[3].device = "a100";
+  records[3].feasible = false;
+
+  const auto table = per_device_geomean_best(records, 10.0);
+  ASSERT_EQ(table.size(), 3u);  // sorted: a100, mi250x, v100
+  EXPECT_EQ(table[0].device, "a100");
+  EXPECT_DOUBLE_EQ(table[0].geomean_best, 0.0);
+  EXPECT_EQ(table[0].feasible, 0u);
+  EXPECT_EQ(table[0].total, 1u);
+  EXPECT_EQ(table[1].device, "mi250x");
+  EXPECT_NEAR(table[1].geomean_best, std::sqrt(2.0 * 8.0), 1e-12);
+  EXPECT_EQ(table[2].device, "v100");
+  EXPECT_DOUBLE_EQ(table[2].geomean_best, 4.0);
+}
+
+namespace {
+
+/// A record exercising every CSV column, including cells that force
+/// quoting in the serialized form.
+RunRecord tricky_record() {
+  RunRecord r;
+  r.benchmark = "kmeans";
+  r.device = "mi250x";
+  r.technique = pragma::Technique::kIactMemo;
+  r.spec_text = "memo(in:4:0.5:16) in(x) out(y)";
+  r.level = pragma::HierarchyLevel::kWarp;
+  r.items_per_thread = 512;
+  r.feasible = false;
+  r.note = "line\nbreak, with \"quotes\" and commas";
+  r.speedup = 1.0 / 3.0;
+  r.error_percent = 12.3456789;
+  r.approx_ratio = 0.25;
+  r.kernel_seconds = 1.5e-4;
+  r.end_to_end_seconds = 2.25e-3;
+  r.iterations = 42;
+  r.baseline_iterations = 60;
+  r.threshold = 0.5;
+  r.history_size = 3;
+  r.prediction_size = 8;
+  r.table_size = 4;
+  r.tables_per_warp = 16;
+  r.perfo_kind = "small";
+  r.perfo_stride = 2;
+  r.perfo_fraction = 0.3;
+  return r;
+}
+
+}  // namespace
+
+TEST(RunRecordCsv, RowRoundTripRestoresEveryField) {
+  ResultDb db;
+  db.add(tricky_record());
+  std::ostringstream os;
+  db.to_csv().write(os);
+  std::istringstream is(os.str());
+  const CsvTable loaded = CsvTable::load(is);
+  ASSERT_EQ(loaded.row_count(), 1u);
+  const RunRecord r = RunRecord::from_row(loaded, 0);
+  const RunRecord expect = tricky_record();
+  EXPECT_EQ(r.benchmark, expect.benchmark);
+  EXPECT_EQ(r.device, expect.device);
+  EXPECT_EQ(r.technique, expect.technique);
+  EXPECT_EQ(r.spec_text, expect.spec_text);
+  EXPECT_EQ(r.level, expect.level);
+  EXPECT_EQ(r.items_per_thread, expect.items_per_thread);
+  EXPECT_EQ(r.feasible, expect.feasible);
+  EXPECT_EQ(r.note, expect.note);
+  EXPECT_DOUBLE_EQ(r.speedup, expect.speedup);  // exact: shortest-round-trip doubles
+  EXPECT_DOUBLE_EQ(r.error_percent, expect.error_percent);
+  EXPECT_DOUBLE_EQ(r.approx_ratio, expect.approx_ratio);
+  EXPECT_DOUBLE_EQ(r.kernel_seconds, expect.kernel_seconds);
+  EXPECT_DOUBLE_EQ(r.end_to_end_seconds, expect.end_to_end_seconds);
+  EXPECT_DOUBLE_EQ(r.iterations, expect.iterations);
+  EXPECT_DOUBLE_EQ(r.baseline_iterations, expect.baseline_iterations);
+  EXPECT_DOUBLE_EQ(r.threshold, expect.threshold);
+  EXPECT_EQ(r.history_size, expect.history_size);
+  EXPECT_EQ(r.prediction_size, expect.prediction_size);
+  EXPECT_EQ(r.table_size, expect.table_size);
+  EXPECT_EQ(r.tables_per_warp, expect.tables_per_warp);
+  EXPECT_EQ(r.perfo_kind, expect.perfo_kind);
+  EXPECT_EQ(r.perfo_stride, expect.perfo_stride);
+  EXPECT_DOUBLE_EQ(r.perfo_fraction, expect.perfo_fraction);
+}
+
+TEST(RunRecordCsv, SaveLoadReserializeIsByteIdentical) {
+  ResultDb db;
+  db.add(tricky_record());
+  RunRecord plain;
+  plain.benchmark = "lulesh";
+  plain.device = "v100";
+  plain.spec_text = "perfo(small:2)";
+  plain.speedup = 1.25;
+  db.add(plain);
+  const std::string path = testing::TempDir() + "hpac_record_roundtrip.csv";
+  db.save(path);
+  const ResultDb loaded = ResultDb::load(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  std::ostringstream original, reserialized;
+  db.to_csv().write(original);
+  loaded.to_csv().write(reserialized);
+  EXPECT_EQ(reserialized.str(), original.str());
+  std::remove(path.c_str());
+}
+
+TEST(RunRecordCsv, LoadRejectsForeignColumns) {
+  const std::string path = testing::TempDir() + "hpac_record_badschema.csv";
+  {
+    std::ofstream out(path);
+    out << "benchmark,speedup\nx,2\n";
+  }
+  EXPECT_THROW(ResultDb::load(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(RunRecordCsv, TechniqueAndHierarchyNamesRoundTrip) {
+  using pragma::Technique;
+  for (const auto t : {Technique::kNone, Technique::kTafMemo, Technique::kIactMemo,
+                       Technique::kPerforation}) {
+    EXPECT_EQ(pragma::technique_from_name(pragma::technique_name(t)), t);
+  }
+  using pragma::HierarchyLevel;
+  for (const auto level :
+       {HierarchyLevel::kThread, HierarchyLevel::kWarp, HierarchyLevel::kBlock}) {
+    EXPECT_EQ(pragma::hierarchy_from_name(pragma::hierarchy_name(level)), level);
+  }
+  EXPECT_THROW(pragma::technique_from_name("hologram"), ParseError);
+  EXPECT_THROW(pragma::hierarchy_from_name("galaxy"), ParseError);
 }
 
 TEST(ResultDb, CsvExportHasAllRows) {

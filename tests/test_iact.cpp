@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "approx/iact.hpp"
+#include "approx/taf.hpp"
 #include "common/error.hpp"
 
 using namespace hpac;
@@ -188,4 +190,47 @@ TEST(Iact, PoliciesAgreeOnCapacityUnderChurn) {
     const std::vector<double> probe{1, 1};
     EXPECT_TRUE(table.find_nearest(probe).valid());
   }
+}
+
+// --- storage accounting (mirrors the TAF invariants; both sizes gate
+// feasibility against the device's shared memory) ---
+
+TEST(Iact, StorageAccountingIsSelfConsistent) {
+  for (const int tsize : {1, 2, 4, 8}) {
+    for (const int in_dims : {1, 2, 3}) {
+      for (const int out_dims : {1, 2}) {
+        const std::size_t doubles = IactTable::storage_doubles(tsize, in_dims, out_dims);
+        EXPECT_EQ(doubles,
+                  static_cast<std::size_t>(tsize) * (static_cast<std::size_t>(in_dims) + out_dims));
+        const std::size_t bytes = IactTable::footprint_bytes(tsize, in_dims, out_dims);
+        EXPECT_EQ(bytes, doubles * sizeof(double) + static_cast<std::size_t>(tsize) * 2 +
+                             sizeof(std::int32_t));
+        EXPECT_GE(bytes, doubles * sizeof(double));
+      }
+    }
+  }
+}
+
+TEST(Iact, FootprintAgreesWithTafAccounting) {
+  // Both AC-state types count storage the same way: footprint_bytes is the
+  // double storage at 8 bytes each plus a small bookkeeping overhead, so
+  // the shared-memory planner can treat them uniformly.
+  for (const int n : {1, 2, 4, 8}) {
+    const std::size_t taf_overhead =
+        hpac::approx::TafState::footprint_bytes(n, 1) -
+        hpac::approx::TafState::storage_doubles(n, 1) * sizeof(double);
+    const std::size_t iact_overhead =
+        IactTable::footprint_bytes(n, 1, 1) - IactTable::storage_doubles(n, 1, 1) * sizeof(double);
+    EXPECT_GT(taf_overhead, 0u);
+    EXPECT_GT(iact_overhead, 0u);
+    EXPECT_LE(taf_overhead, 64u);   // bookkeeping, not a second copy of the state
+    EXPECT_LE(iact_overhead, 64u);
+  }
+}
+
+TEST(Iact, RejectsUndersizedStorageSpan) {
+  std::vector<double> storage(IactTable::storage_doubles(4, 2, 1) - 1, 0.0);
+  EXPECT_THROW(IactTable(4, 2, 1, Replacement::kRoundRobin, storage), Error);
+  storage.assign(IactTable::storage_doubles(4, 2, 1), 0.0);
+  EXPECT_NO_THROW(IactTable(4, 2, 1, Replacement::kRoundRobin, storage));
 }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "approx/taf.hpp"
@@ -200,3 +201,31 @@ INSTANTIATE_TEST_SUITE_P(Table2, TafDutyCycle,
                          ::testing::Values(std::make_tuple(1, 2), std::make_tuple(2, 8),
                                            std::make_tuple(3, 16), std::make_tuple(5, 64),
                                            std::make_tuple(5, 512), std::make_tuple(4, 4)));
+
+// --- storage accounting (shared-memory sizing is what gates feasibility) ---
+
+TEST(Taf, StorageAccountingIsSelfConsistent) {
+  for (const int h : {1, 2, 3, 5}) {
+    for (const int dims : {1, 2, 4}) {
+      const std::size_t doubles = TafState::storage_doubles(h, dims);
+      EXPECT_EQ(doubles, static_cast<std::size_t>(h) * dims + dims);
+      // The byte footprint covers exactly the doubles plus a fixed integer
+      // bookkeeping block — never less than the raw storage.
+      const std::size_t bytes = TafState::footprint_bytes(h, dims);
+      EXPECT_EQ(bytes, doubles * sizeof(double) + 4 * sizeof(std::int32_t));
+      EXPECT_GE(bytes, doubles * sizeof(double));
+    }
+  }
+  // Monotone in both parameters.
+  EXPECT_LT(TafState::footprint_bytes(2, 1), TafState::footprint_bytes(3, 1));
+  EXPECT_LT(TafState::footprint_bytes(2, 1), TafState::footprint_bytes(2, 2));
+}
+
+TEST(Taf, RejectsUndersizedStorageSpan) {
+  const TafParams params{3, 4, 0.5};
+  std::vector<double> storage(TafState::storage_doubles(3, 2) - 1, 0.0);
+  EXPECT_THROW(TafState(params, 2, storage), Error);
+  // An exactly sized span is accepted.
+  storage.assign(TafState::storage_doubles(3, 2), 0.0);
+  EXPECT_NO_THROW(TafState(params, 2, storage));
+}
