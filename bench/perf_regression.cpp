@@ -1,0 +1,223 @@
+// perf_regression — perf-smoke bench of the region execution engine.
+//
+// Times a fixed Explorer quick sweep (curated TAF + iACT + perforation
+// specs x two items-per-thread points) over a synthetic region whose own
+// arithmetic is deliberately cheap, so the measurement isolates the
+// executor: dispatch, mask computation, AC-state management, the
+// coalescing model and the timing model. Application-math-heavy workloads
+// (the fig benches) would mask engine regressions; this one exists so the
+// perf trajectory of the engine itself is tracked from PR 3 onward.
+//
+// Three engine paths are timed over the identical workload:
+//   scalar  — per-item std::function bindings through the compatibility
+//             adapter (the only form the pre-refactor engine supported,
+//             which makes this number comparable across that boundary);
+//   batched — one call per warp via the batched binding API;
+//   sharded — batched plus team-parallel execution on the host pool.
+// The three result databases must be byte-identical; the bench fails
+// loudly if they are not (the engine's bit-identity contract).
+//
+// Output: <out-dir>/BENCH_region_exec.json with wall seconds and
+// region-invocations/second per path. Wire into CI as a non-gating step.
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/explorer.hpp"
+#include "harness/params.hpp"
+#include "offload/device.hpp"
+#include "offload/target.hpp"
+#include "sim/device.hpp"
+#include "sim/launch.hpp"
+#include "sim/warp.hpp"
+
+namespace {
+
+using namespace hpac;
+
+/// The synthetic region: out = a small polynomial of the item index, with
+/// a long stable plateau (TAF-friendly), a short varying tail and inputs
+/// that repeat with a small period (iACT-friendly).
+double region_value(std::uint64_t i) {
+  if (i % 97 < 60) return 42.0;
+  return 1.0 + static_cast<double>(i % 7) * 0.25;
+}
+
+enum class BindingForm { kScalar, kBatched };
+
+class EngineMicro : public harness::Benchmark {
+ public:
+  explicit EngineMicro(BindingForm form) : form_(form) {}
+
+  std::string name() const override { return "engine_micro"; }
+  std::uint64_t default_items_per_thread() const override { return 8; }
+  std::vector<std::uint64_t> memo_items_axis() const override { return {8, 64}; }
+
+  harness::RunOutput run(const pragma::ApproxSpec& spec, std::uint64_t items_per_thread,
+                         const sim::DeviceConfig& device) override {
+    const std::uint64_t n = kItems;
+    offload::Device dev(device);
+    approx::RegionExecutor executor(device);
+    std::vector<double> out_values(n, 0.0);
+
+    harness::RunOutput output;
+    offload::MapScope map_in(dev, n * 2 * sizeof(double), offload::MapDir::kTo);
+    offload::MapScope map_out(dev, n * sizeof(double), offload::MapDir::kFrom);
+
+    approx::RegionBinding binding;
+    binding.in_dims = 2;
+    binding.out_dims = 1;
+    binding.in_bytes = 2 * sizeof(double);
+    binding.out_bytes = sizeof(double);
+    binding.gather = [](std::uint64_t i, std::span<double> in) {
+      in[0] = static_cast<double>(i % 13);
+      in[1] = static_cast<double>((i / 13) % 7);
+    };
+    binding.accurate = [](std::uint64_t i, std::span<const double>, std::span<double> out) {
+      out[0] = region_value(i);
+    };
+    binding.accurate_cost = [](std::uint64_t) { return 64.0; };
+    binding.commit = [&out_values](std::uint64_t i, std::span<const double> out) {
+      out_values[i] = out[0];
+    };
+    if (form_ == BindingForm::kBatched) {
+      binding.gather_batch = [](std::uint64_t first, sim::LaneMask lanes,
+                                std::span<double> in) {
+        sim::for_each_lane(lanes, [&](int lane) {
+          const std::uint64_t i = first + static_cast<std::uint64_t>(lane);
+          in[static_cast<std::size_t>(lane) * 2 + 0] = static_cast<double>(i % 13);
+          in[static_cast<std::size_t>(lane) * 2 + 1] = static_cast<double>((i / 13) % 7);
+        });
+      };
+      binding.accurate_batch = [](std::uint64_t first, sim::LaneMask lanes,
+                                  std::span<const double>, std::span<double> out) {
+        sim::for_each_lane(lanes, [&](int lane) {
+          out[static_cast<std::size_t>(lane)] =
+              region_value(first + static_cast<std::uint64_t>(lane));
+        });
+      };
+      binding.accurate_cost_batch = [](std::uint64_t, sim::LaneMask) { return 64.0; };
+      binding.commit_batch = [&out_values](std::uint64_t first, sim::LaneMask lanes,
+                                           std::span<const double> out) {
+        sim::for_each_lane(lanes, [&](int lane) {
+          out_values[first + static_cast<std::uint64_t>(lane)] =
+              out[static_cast<std::size_t>(lane)];
+        });
+      };
+      binding.independent_items = true;
+    }
+
+    const sim::LaunchConfig launch =
+        sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());
+    const approx::RegionReport report =
+        offload::target_parallel_for(dev, executor, spec, binding, n, launch);
+    output.stats = report.stats;
+    output.timeline = dev.timeline();
+    output.qoi = std::move(out_values);
+    return output;
+  }
+
+  std::unique_ptr<harness::Benchmark> fork() const override {
+    return std::make_unique<EngineMicro>(*this);
+  }
+
+  static constexpr std::uint64_t kItems = 1u << 16;
+
+ private:
+  BindingForm form_;
+};
+
+struct SweepResult {
+  double wall_seconds = 0;
+  std::uint64_t invocations = 0;
+  std::string csv_text;
+};
+
+SweepResult run_sweep(BindingForm form, const approx::ExecTuning& tuning) {
+  const approx::ExecTuning previous = approx::RegionExecutor::default_tuning();
+  approx::RegionExecutor::set_default_tuning(tuning);
+
+  EngineMicro bench(form);
+  harness::Explorer explorer(bench, sim::v100());
+  std::vector<pragma::ApproxSpec> specs =
+      harness::curated_taf_specs(harness::table2::hierarchies());
+  for (const auto& spec :
+       harness::curated_iact_specs(sim::v100().warp_size, harness::table2::hierarchies())) {
+    specs.push_back(spec);
+  }
+  for (const auto& spec : harness::curated_perfo_specs()) specs.push_back(spec);
+
+  const auto start = std::chrono::steady_clock::now();
+  explorer.sweep(specs, bench.memo_items_axis(), /*num_threads=*/1);
+  const auto stop = std::chrono::steady_clock::now();
+
+  approx::RegionExecutor::set_default_tuning(previous);
+
+  SweepResult result;
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  for (const auto& record : explorer.db().records()) {
+    if (record.feasible) result.invocations += EngineMicro::kItems;
+  }
+  std::ostringstream os;
+  explorer.db().to_csv().write(os);
+  result.csv_text = os.str();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hpac::bench::Options opts = hpac::bench::parse_options(argc, argv);
+  hpac::bench::print_banner(
+      "perf_regression — region execution engine smoke",
+      "engine overhead must keep shrinking; results must be bit-identical across paths");
+
+  approx::ExecTuning serial;
+  serial.max_threads = 1;
+  approx::ExecTuning sharded;  // defaults: hardware concurrency, auto thresholds
+  sharded.min_teams = 1;
+  sharded.min_items = 0;
+  sharded.min_teams_per_shard = 1;
+
+  const SweepResult scalar = run_sweep(BindingForm::kScalar, serial);
+  const SweepResult batched = run_sweep(BindingForm::kBatched, serial);
+  const SweepResult parallel = run_sweep(BindingForm::kBatched, sharded);
+
+  const bool identical =
+      scalar.csv_text == batched.csv_text && batched.csv_text == parallel.csv_text;
+  std::printf("scalar   %.3f s  (%.3g inv/s)\n", scalar.wall_seconds,
+              scalar.invocations / scalar.wall_seconds);
+  std::printf("batched  %.3f s  (%.3g inv/s)\n", batched.wall_seconds,
+              batched.invocations / batched.wall_seconds);
+  std::printf("sharded  %.3f s  (%.3g inv/s)\n", parallel.wall_seconds,
+              parallel.invocations / parallel.wall_seconds);
+  std::printf("paths byte-identical: %s\n", identical ? "yes" : "NO — ENGINE BUG");
+
+  std::error_code ec;
+  std::filesystem::create_directories(opts.out_dir, ec);
+  const std::string path = opts.out_dir + "/BENCH_region_exec.json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"region_exec\",\n"
+                 "  \"items_per_config\": %llu,\n"
+                 "  \"scalar\": {\"wall_seconds\": %.6f, \"items_per_sec\": %.6g},\n"
+                 "  \"batched\": {\"wall_seconds\": %.6f, \"items_per_sec\": %.6g},\n"
+                 "  \"sharded\": {\"wall_seconds\": %.6f, \"items_per_sec\": %.6g},\n"
+                 "  \"paths_byte_identical\": %s\n"
+                 "}\n",
+                 static_cast<unsigned long long>(EngineMicro::kItems), scalar.wall_seconds,
+                 scalar.invocations / scalar.wall_seconds, batched.wall_seconds,
+                 batched.invocations / batched.wall_seconds, parallel.wall_seconds,
+                 parallel.invocations / parallel.wall_seconds, identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("[wrote %s]\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  }
+  return identical ? 0 : 1;
+}

@@ -1,10 +1,15 @@
 #include "approx/iact.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
 
 namespace hpac::approx {
+
+namespace detail {
+void throw_probe_mismatch() { throw Error("probe dimensionality mismatch"); }
+}  // namespace detail
 
 double euclidean_distance(std::span<const double> a, std::span<const double> b) {
   HPAC_REQUIRE(a.size() == b.size(), "distance between vectors of different size");
@@ -43,18 +48,11 @@ std::size_t IactTable::footprint_bytes(int table_size, int in_dims, int out_dims
          static_cast<std::size_t>(table_size) * 2 + sizeof(std::int32_t);
 }
 
-IactTable::Match IactTable::find_nearest(std::span<const double> in) const {
-  HPAC_REQUIRE(in.size() == static_cast<std::size_t>(in_dims_), "probe dimensionality mismatch");
-  Match best;
-  for (int i = 0; i < table_size_; ++i) {
-    if (!valid_[static_cast<std::size_t>(i)]) continue;
-    const double d = euclidean_distance(in, input_at(i));
-    if (d < best.distance) {
-      best.distance = d;
-      best.index = i;
-    }
-  }
-  return best;
+void IactTable::reset() {
+  std::fill(valid_.begin(), valid_.end(), false);
+  std::fill(referenced_.begin(), referenced_.end(), false);
+  cursor_ = 0;
+  valid_count_ = 0;
 }
 
 void IactTable::mark_used(int index) {

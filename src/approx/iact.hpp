@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -44,7 +45,16 @@ class IactTable {
     bool valid() const { return index >= 0; }
   };
 
+  /// Empty the table (all entries invalidated, cursor and CLOCK bits
+  /// cleared) without releasing its storage. The executor reuses one set
+  /// of tables across all teams of a launch — `reset()` between teams
+  /// replaces the per-team reallocation.
+  void reset();
+
   /// Reading phase: nearest entry by Euclidean distance (no state change).
+  /// Defined inline below — this is the one operation iACT pays on *every*
+  /// invocation (paper insight 4), so it must inline into the executor's
+  /// per-lane loop.
   Match find_nearest(std::span<const double> in) const;
 
   /// Record a cache hit for CLOCK's reference bit. No-op for round-robin.
@@ -78,5 +88,53 @@ class IactTable {
 /// Euclidean (L2) distance between two equally sized vectors; the match
 /// metric of iACT's activation function.
 double euclidean_distance(std::span<const double> a, std::span<const double> b);
+
+namespace detail {
+/// Out-of-line throw keeps the inlined probe scan free of exception
+/// machinery.
+[[noreturn]] void throw_probe_mismatch();
+}  // namespace detail
+
+inline IactTable::Match IactTable::find_nearest(std::span<const double> in) const {
+  if (in.size() != static_cast<std::size_t>(in_dims_)) {
+    detail::throw_probe_mismatch();
+  }
+  // The scan runs for every region invocation, so it is the single
+  // hottest loop of iACT execution: compare squared distances and take a
+  // square root only on improvements. Partial squared sums only grow, so
+  // a row whose partial sum already exceeds the best can be abandoned
+  // without changing which entry wins; and since sqrt is monotone, a row
+  // with sq >= best_sq could never have passed the original strict
+  // `sqrt(sq) < best.distance` test either. The final strict comparison
+  // happens in the sqrt domain so tie-breaking is identical to the
+  // historical per-entry-sqrt scan even when two distinct squared
+  // distances round to the same square root (first such entry wins).
+  // Valid entries always occupy the slot prefix [0, valid_count_):
+  // `victim_index` fills empty slots in ascending order and entries are
+  // never individually invalidated, so the scan needs no per-row
+  // validity check.
+  const std::size_t row_doubles = static_cast<std::size_t>(in_dims_) + out_dims_;
+  const double* probe = in.data();
+  double best_sq = std::numeric_limits<double>::infinity();
+  Match best;
+  for (int i = 0; i < valid_count_; ++i) {
+    const double* entry = storage_.data() + static_cast<std::size_t>(i) * row_doubles;
+    double sq = 0.0;
+    for (int d = 0; d < in_dims_; ++d) {
+      const double diff = probe[d] - entry[d];
+      sq += diff * diff;
+      if (sq > best_sq) break;
+    }
+    if (sq < best_sq) {
+      best_sq = sq;
+      const double distance = std::sqrt(sq);
+      if (distance < best.distance) {
+        best.distance = distance;
+        best.index = i;
+      }
+    }
+  }
+  return best;
+}
 
 }  // namespace hpac::approx

@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <array>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "approx/hierarchy.hpp"
 #include "approx/perforation.hpp"
 #include "approx/taf.hpp"
 #include "common/error.hpp"
+#include "common/function_ref.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/memory_model.hpp"
 #include "sim/shared_memory.hpp"
 
@@ -20,6 +25,89 @@ using pragma::ApproxSpec;
 using pragma::HierarchyLevel;
 using pragma::Technique;
 using sim::LaneMask;
+
+// --- default tuning and the shared host pool -------------------------------
+
+std::mutex& tuning_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+ExecTuning& default_tuning_storage() {
+  static ExecTuning tuning;
+  return tuning;
+}
+
+/// One process-wide pool for team-sharded launches. Sized for the host
+/// (at least two workers so forced sharding is exercisable on one-core
+/// machines); a launch borrows the whole pool, so concurrent launches are
+/// serialized by `exec_pool_gate()` — the loser simply runs serially,
+/// which is the right behavior when the cores are already busy.
+ThreadPool& exec_pool() {
+  static ThreadPool pool(std::max<std::size_t>(2, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+std::mutex& exec_pool_gate() {
+  static std::mutex m;
+  return m;
+}
+
+// --- scalar-form adapters ---------------------------------------------------
+
+/// Per-warp adapters that present a scalar (per-item `std::function`)
+/// binding through the batched call interface. These are the
+/// compatibility path: the executor's hot loops only ever see the batched
+/// shape, bound once per launch through `FunctionRef`.
+struct ScalarGatherAdapter {
+  const RegionBinding* binding;
+  void operator()(std::uint64_t first_item, LaneMask lanes, std::span<double> in) const {
+    const auto dims = static_cast<std::size_t>(binding->in_dims);
+    sim::for_each_lane(lanes, [&](int lane) {
+      binding->gather(first_item + static_cast<std::uint64_t>(lane),
+                      in.subspan(static_cast<std::size_t>(lane) * dims, dims));
+    });
+  }
+};
+
+struct ScalarAccurateAdapter {
+  const RegionBinding* binding;
+  void operator()(std::uint64_t first_item, LaneMask lanes, std::span<const double> in,
+                  std::span<double> out) const {
+    const auto id = static_cast<std::size_t>(binding->in_dims);
+    const auto od = static_cast<std::size_t>(binding->out_dims);
+    sim::for_each_lane(lanes, [&](int lane) {
+      const std::span<const double> lane_in =
+          in.empty() ? std::span<const double>()
+                     : in.subspan(static_cast<std::size_t>(lane) * id, id);
+      binding->accurate(first_item + static_cast<std::uint64_t>(lane), lane_in,
+                        out.subspan(static_cast<std::size_t>(lane) * od, od));
+    });
+  }
+};
+
+struct ScalarCostAdapter {
+  const RegionBinding* binding;
+  double operator()(std::uint64_t first_item, LaneMask lanes) const {
+    double cost = 0;
+    sim::for_each_lane(lanes, [&](int lane) {
+      cost = std::max(cost,
+                      binding->accurate_cost(first_item + static_cast<std::uint64_t>(lane)));
+    });
+    return cost;
+  }
+};
+
+struct ScalarCommitAdapter {
+  const RegionBinding* binding;
+  void operator()(std::uint64_t first_item, LaneMask lanes, std::span<const double> out) const {
+    const auto od = static_cast<std::size_t>(binding->out_dims);
+    sim::for_each_lane(lanes, [&](int lane) {
+      binding->commit(first_item + static_cast<std::uint64_t>(lane),
+                      out.subspan(static_cast<std::size_t>(lane) * od, od));
+    });
+  }
+};
 
 /// Per-warp scratch carried between the decision phase and the execution
 /// phase of one grid-stride step (needed because block-level decisions
@@ -34,12 +122,20 @@ struct WarpScratch {
 
 /// Everything one region execution needs; avoids threading a dozen
 /// parameters through the per-technique drivers.
+///
+/// A context executes teams [team_begin, team_end) of the launch against
+/// its own `KernelTracker` shard and its own AC state, so several contexts
+/// can run concurrently and be merged deterministically afterwards. AC
+/// state (TAF windows, iACT tables, the shared-memory arena) is allocated
+/// once per context and `reset()` between teams instead of reallocated —
+/// the launch-invariant hoisting half of the fast path.
 class RunContext {
  public:
   RunContext(const sim::DeviceConfig& dev, Replacement replacement, const RuntimeCosts& costs,
              const ApproxSpec& spec, const RegionBinding& binding, std::uint64_t n,
              const sim::LaunchConfig& launch, std::size_t ac_bytes,
-             const pragma::PerfoParams* composed_perfo = nullptr)
+             const pragma::PerfoParams* composed_perfo, std::uint64_t team_begin,
+             std::uint64_t team_end, bool force_scalar)
       : dev_(dev),
         composed_perfo_(composed_perfo),
         replacement_(replacement),
@@ -48,13 +144,20 @@ class RunContext {
         binding_(binding),
         n_(n),
         launch_(launch),
-        tracker_(dev, launch, ac_bytes),
+        team_begin_(team_begin),
+        team_end_(team_end),
+        tracker_(dev, launch, ac_bytes, team_begin, team_end),
         coalesce_(dev),
+        arena_(dev),
         warp_size_(dev.warp_size),
         threads_per_team_(launch.threads_per_team),
         warps_per_team_(launch.warps_per_team(dev)),
         total_threads_(launch.total_threads()),
-        steps_(launch.steps_for(n)) {
+        steps_(launch.steps_for(n)),
+        gather_adapter_{&binding},
+        accurate_adapter_{&binding},
+        cost_adapter_{&binding},
+        commit_adapter_{&binding} {
     stats_.shared_bytes_per_block = ac_bytes;
     out_buf_.resize(static_cast<std::size_t>(warp_size_) *
                     static_cast<std::size_t>(binding.out_dims));
@@ -64,9 +167,37 @@ class RunContext {
                   static_cast<std::size_t>(std::max(1, binding.in_dims)));
       s.match.resize(static_cast<std::size_t>(warp_size_));
     }
+    // Bind the hot-path operations once: the batched binding when the app
+    // provides one, the scalar adapter otherwise (or when parity testing
+    // forces the adapter path).
+    const auto prefer_scalar = [force_scalar](const auto& scalar_fn) {
+      return force_scalar && scalar_fn != nullptr;
+    };
+    if (binding.gather_batch && !prefer_scalar(binding.gather)) {
+      gather_ = binding.gather_batch;
+    } else if (binding.gather) {
+      gather_ = gather_adapter_;
+    }
+    if (binding.accurate_batch && !prefer_scalar(binding.accurate)) {
+      accurate_ = binding.accurate_batch;
+    } else if (binding.accurate) {
+      accurate_ = accurate_adapter_;
+    }
+    if (binding.accurate_cost_batch && !prefer_scalar(binding.accurate_cost)) {
+      cost_ = binding.accurate_cost_batch;
+    } else if (binding.accurate_cost) {
+      cost_ = cost_adapter_;
+    }
+    if (binding.commit_batch && !prefer_scalar(binding.commit)) {
+      commit_ = binding.commit_batch;
+    } else if (binding.commit) {
+      commit_ = commit_adapter_;
+    }
   }
 
-  RegionReport execute() {
+  /// Run the technique over this context's team range. Does not finalize
+  /// timing — shards are merged first.
+  void execute_body() {
     switch (spec_.technique) {
       case Technique::kNone:
         run_baseline();
@@ -81,11 +212,17 @@ class RunContext {
         run_iact();
         break;
     }
+  }
+
+  RegionReport finalize_report() {
     RegionReport report;
     report.timing = tracker_.finalize();
     report.stats = stats_;
     return report;
   }
+
+  const sim::KernelTracker& tracker() const { return tracker_; }
+  const ExecStats& stats() const { return stats_; }
 
  private:
   // --- geometry helpers -------------------------------------------------
@@ -100,16 +237,21 @@ class RunContext {
   }
 
   /// Lanes of this warp that are both real threads and map to items < n.
+  /// Both constraints bound a *prefix* of the warp (thread ids and items
+  /// are affine in the lane index), so the mask is computed arithmetically
+  /// — no per-lane loop for any step, full or partial.
   LaneMask active_mask(std::uint64_t team, std::uint32_t w, std::uint64_t step) const {
-    LaneMask mask = 0;
-    for (int lane = 0; lane < warp_size_; ++lane) {
-      const std::uint32_t thread_in_team = w * static_cast<std::uint32_t>(warp_size_) +
-                                           static_cast<std::uint32_t>(lane);
-      if (thread_in_team >= threads_per_team_) break;
-      if (item_of(team, w, lane, step) < n_) mask = sim::with_lane(mask, lane);
-    }
-    return mask;
+    const std::uint32_t lane0 = w * static_cast<std::uint32_t>(warp_size_);
+    std::uint64_t lanes = std::min<std::uint64_t>(static_cast<std::uint64_t>(warp_size_),
+                                                  threads_per_team_ - lane0);
+    const std::uint64_t first_item =
+        step * total_threads_ + team * threads_per_team_ + lane0;
+    if (first_item >= n_) return 0;
+    lanes = std::min<std::uint64_t>(lanes, n_ - first_item);
+    return sim::full_mask(static_cast<int>(lanes));
   }
+
+  std::span<double> out_span() { return std::span<double>(out_buf_); }
 
   std::span<double> lane_out(int lane) {
     return std::span<double>(out_buf_).subspan(
@@ -152,11 +294,10 @@ class RunContext {
                               composed_perfo_->kind == pragma::PerfoKind::kFini;
     if (!bounds_based && composed_perfo_->herded) return active;  // step-level, handled above
     LaneMask exec = active;
-    for (int lane = 0; lane < warp_size_; ++lane) {
-      if (!sim::lane_active(active, lane)) continue;
+    sim::for_each_lane(active, [&](int lane) {
       const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
       if (perfo_skip_item(*composed_perfo_, item, n_)) exec &= ~(1ull << lane);
-    }
+    });
     const auto skipped = static_cast<std::uint64_t>(sim::popcount(active & ~exec));
     stats_.region_invocations += skipped;
     stats_.skipped_items += skipped;
@@ -183,26 +324,22 @@ class RunContext {
   // --- baseline ----------------------------------------------------------
 
   void run_baseline() {
-    for (std::uint64_t team = 0; team < launch_.num_teams; ++team) {
+    const std::span<double> out = out_span();
+    for (std::uint64_t team = team_begin_; team < team_end_; ++team) {
       for (std::uint64_t step = 0; step < steps_; ++step) {
         for (std::uint32_t w = 0; w < warps_per_team_; ++w) {
           const LaneMask active = active_mask(team, w, step);
           if (active == 0) continue;
           sim::WarpLedger& ledger = tracker_.warp(team, w);
           const std::uint64_t first_item = item_of(team, w, 0, step);
-          double cost = 0;
-          for (int lane = 0; lane < warp_size_; ++lane) {
-            if (!sim::lane_active(active, lane)) continue;
-            const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
-            binding_.accurate(item, {}, lane_out(lane));
-            binding_.commit(item, lane_out(lane));
-            cost = std::max(cost, binding_.accurate_cost(item));
-          }
-          const std::array<double, 1> paths{cost};
+          accurate_(first_item, active, {}, out);
+          commit_(first_item, active, out);
+          const std::array<double, 1> paths{cost_(first_item, active)};
           ledger.charge_paths(paths);
           charge_item_memory(ledger, first_item, active, active);
-          stats_.region_invocations += static_cast<std::uint64_t>(sim::popcount(active));
-          stats_.accurate_items += static_cast<std::uint64_t>(sim::popcount(active));
+          const auto count = static_cast<std::uint64_t>(sim::popcount(active));
+          stats_.region_invocations += count;
+          stats_.accurate_items += count;
         }
       }
     }
@@ -212,12 +349,13 @@ class RunContext {
 
   void run_perforation() {
     const pragma::PerfoParams& perfo = *spec_.perfo;
+    const std::span<double> out = out_span();
     // ini/fini adjust the *loop bounds* (paper §3.3), so they always act
     // on item indices regardless of the herded flag; only the modulo
     // patterns (small/large) distinguish step-herded from per-iteration.
     const bool bounds_based = perfo.kind == pragma::PerfoKind::kIni ||
                               perfo.kind == pragma::PerfoKind::kFini;
-    for (std::uint64_t team = 0; team < launch_.num_teams; ++team) {
+    for (std::uint64_t team = team_begin_; team < team_end_; ++team) {
       for (std::uint64_t step = 0; step < steps_; ++step) {
         const bool herded_skip =
             !bounds_based && perfo.herded && perfo_skip_step(perfo, step, steps_);
@@ -233,26 +371,19 @@ class RunContext {
           if (perfo.herded && !bounds_based) {
             if (herded_skip) exec = 0;
           } else {
-            for (int lane = 0; lane < warp_size_; ++lane) {
-              if (!sim::lane_active(active, lane)) continue;
+            sim::for_each_lane(active, [&](int lane) {
               const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
               if (perfo_skip_item(perfo, item, n_)) exec &= ~(1ull << lane);
-            }
+            });
           }
 
           const int skipped = sim::popcount(active) - sim::popcount(exec);
           stats_.skipped_items += static_cast<std::uint64_t>(skipped);
           if (exec == 0) continue;
 
-          double cost = 0;
-          for (int lane = 0; lane < warp_size_; ++lane) {
-            if (!sim::lane_active(exec, lane)) continue;
-            const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
-            binding_.accurate(item, {}, lane_out(lane));
-            binding_.commit(item, lane_out(lane));
-            cost = std::max(cost, binding_.accurate_cost(item));
-          }
-          const std::array<double, 1> paths{cost};
+          accurate_(first_item, exec, {}, out);
+          commit_(first_item, exec, out);
+          const std::array<double, 1> paths{cost_(first_item, exec)};
           ledger.charge_paths(paths);
           // A partially perforated warp still touches nearly the same
           // memory segments (fragmentation), which the coalescing model
@@ -304,13 +435,18 @@ class RunContext {
     const pragma::TafParams& taf = *spec_.taf;
     const int od = binding_.out_dims;
     const std::size_t per_thread = TafState::storage_doubles(taf.history_size, od);
+    const std::span<double> out = out_span();
 
-    for (std::uint64_t team = 0; team < launch_.num_teams; ++team) {
-      sim::SharedMemoryArena arena(dev_);
-      std::vector<TafState> states;
-      states.reserve(threads_per_team_);
-      for (std::uint32_t t = 0; t < threads_per_team_; ++t) {
-        states.emplace_back(taf, od, arena.alloc_doubles(per_thread));
+    // One set of per-thread state machines, reset between teams.
+    taf_states_.reserve(threads_per_team_);
+    for (std::uint32_t t = 0; t < threads_per_team_; ++t) {
+      taf_states_.emplace_back(taf, od, arena_.alloc_doubles(per_thread));
+    }
+    std::vector<TafState>& states = taf_states_;
+
+    for (std::uint64_t team = team_begin_; team < team_end_; ++team) {
+      if (team != team_begin_) {
+        for (auto& state : states) state.reset();
       }
 
       for (std::uint64_t step = 0; step < steps_; ++step) {
@@ -325,16 +461,14 @@ class RunContext {
           s.wishes = 0;
           if (s.active == 0) continue;
           team_has_active = true;
-          std::array<bool, 64> wish{};
-          for (int lane = 0; lane < warp_size_; ++lane) {
-            if (!sim::lane_active(s.active, lane)) continue;
-            const std::uint32_t tid = w * static_cast<std::uint32_t>(warp_size_) +
-                                      static_cast<std::uint32_t>(lane);
-            wish[static_cast<std::size_t>(lane)] = states[tid].should_approximate();
-          }
-          s.wishes = sim::ballot(std::span<const bool>(wish.data(),
-                                                       static_cast<std::size_t>(warp_size_)),
-                                 s.active);
+          const std::uint32_t tid_base = w * static_cast<std::uint32_t>(warp_size_);
+          LaneMask wishes = 0;
+          sim::for_each_lane(s.active, [&](int lane) {
+            if (states[tid_base + static_cast<std::uint32_t>(lane)].should_approximate()) {
+              wishes = sim::with_lane(wishes, lane);
+            }
+          });
+          s.wishes = wishes;
           charge_decision_cost(tracker_.warp(team, w));
           if (spec_.level == HierarchyLevel::kWarp) {
             s.group_decision = warp_majority(s.wishes, s.active);
@@ -352,40 +486,37 @@ class RunContext {
           if (s.active == 0) continue;
           sim::WarpLedger& ledger = tracker_.warp(team, w);
           const std::uint64_t first_item = item_of(team, w, 0, step);
+          const std::uint32_t tid_base = w * static_cast<std::uint32_t>(warp_size_);
           LaneMask approx_mask = resolve_mask(s, block_decision);
           // Lanes without a prediction cannot approximate; they fall back
           // to the accurate path (only reachable for forced minorities).
-          for (int lane = 0; lane < warp_size_; ++lane) {
-            if (!sim::lane_active(approx_mask, lane)) continue;
-            const std::uint32_t tid = w * static_cast<std::uint32_t>(warp_size_) +
-                                      static_cast<std::uint32_t>(lane);
-            if (!states[tid].has_prediction()) approx_mask &= ~(1ull << lane);
-          }
+          sim::for_each_lane(approx_mask, [&](int lane) {
+            if (!states[tid_base + static_cast<std::uint32_t>(lane)].has_prediction()) {
+              approx_mask &= ~(1ull << lane);
+            }
+          });
           count_forced(s, approx_mask);
           const LaneMask acc_mask = s.active & ~approx_mask;
           stats_.region_invocations += static_cast<std::uint64_t>(sim::popcount(s.active));
 
           double acc_cost = 0;
           double approx_cost = 0;
-          for (int lane = 0; lane < warp_size_; ++lane) {
-            if (!sim::lane_active(s.active, lane)) continue;
-            const std::uint32_t tid = w * static_cast<std::uint32_t>(warp_size_) +
-                                      static_cast<std::uint32_t>(lane);
-            const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
-            if (sim::lane_active(acc_mask, lane)) {
-              binding_.accurate(item, {}, lane_out(lane));
-              const int credits_before = states[tid].credits();
-              states[tid].record_accurate(lane_out(lane));
-              if (credits_before == 0 && states[tid].credits() > 0) {
+          if (acc_mask != 0) {
+            accurate_(first_item, acc_mask, {}, out);
+            sim::for_each_lane(acc_mask, [&](int lane) {
+              TafState& state = states[tid_base + static_cast<std::uint32_t>(lane)];
+              const int credits_before = state.credits();
+              state.record_accurate(lane_out(lane));
+              if (credits_before == 0 && state.credits() > 0) {
                 ++stats_.taf_stable_entries;
               }
-              binding_.commit(item, lane_out(lane));
-              acc_cost = std::max(acc_cost, binding_.accurate_cost(item));
-            } else {
-              states[tid].predict(lane_out(lane));
-              binding_.commit(item, lane_out(lane));
-            }
+            });
+            acc_cost = cost_(first_item, acc_mask);
           }
+          sim::for_each_lane(approx_mask, [&](int lane) {
+            states[tid_base + static_cast<std::uint32_t>(lane)].predict(lane_out(lane));
+          });
+          commit_(first_item, s.active, out);
           if (acc_mask != 0) {
             acc_cost += costs_.taf_record_per_value * taf.history_size * od;
             ledger.charge_shared(static_cast<std::uint32_t>(od), dev_.shared_mem_access_cycles);
@@ -409,7 +540,8 @@ class RunContext {
     const pragma::IactParams& iact = *spec_.iact;
     const int id = binding_.in_dims;
     const int od = binding_.out_dims;
-    HPAC_REQUIRE(binding_.gather != nullptr,
+    const std::span<double> out = out_span();
+    HPAC_REQUIRE(static_cast<bool>(gather_),
                  "iACT requires a gather function for the declared inputs");
     const int tpw = iact.tables_per_warp > 0 ? iact.tables_per_warp : warp_size_;
     if (tpw > warp_size_ || warp_size_ % tpw != 0) {
@@ -421,18 +553,18 @@ class RunContext {
     const Replacement replacement =
         iact.clock_replacement ? Replacement::kClock : replacement_;
 
-    for (std::uint64_t team = 0; team < launch_.num_teams; ++team) {
-      sim::SharedMemoryArena arena(dev_);
-      std::vector<IactTable> tables;
-      tables.reserve(static_cast<std::size_t>(warps_per_team_) * static_cast<std::size_t>(tpw));
-      for (std::uint32_t i = 0; i < warps_per_team_ * static_cast<std::uint32_t>(tpw); ++i) {
-        tables.emplace_back(iact.table_size, id, od, replacement,
-                            arena.alloc_doubles(per_table));
+    // One set of warp-shared tables, reset between teams.
+    const std::uint32_t table_count = warps_per_team_ * static_cast<std::uint32_t>(tpw);
+    tables_.reserve(table_count);
+    for (std::uint32_t i = 0; i < table_count; ++i) {
+      tables_.emplace_back(iact.table_size, id, od, replacement,
+                           arena_.alloc_doubles(per_table));
+    }
+
+    for (std::uint64_t team = team_begin_; team < team_end_; ++team) {
+      if (team != team_begin_) {
+        for (auto& table : tables_) table.reset();
       }
-      auto table_of = [&](std::uint32_t w, int lane) -> IactTable& {
-        return tables[static_cast<std::size_t>(w) * static_cast<std::size_t>(tpw) +
-                      static_cast<std::size_t>(lane / lanes_per_table)];
-      };
 
       for (std::uint64_t step = 0; step < steps_; ++step) {
         if (composed_step_skipped(team, step)) continue;
@@ -448,20 +580,18 @@ class RunContext {
           team_has_active = true;
           sim::WarpLedger& ledger = tracker_.warp(team, w);
           const std::uint64_t first_item = item_of(team, w, 0, step);
-          std::array<bool, 64> wish{};
-          for (int lane = 0; lane < warp_size_; ++lane) {
-            if (!sim::lane_active(s.active, lane)) continue;
-            const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
-            binding_.gather(item, lane_in(s, lane));
-            s.match[static_cast<std::size_t>(lane)] =
-                table_of(w, lane).find_nearest(lane_in(s, lane));
-            const auto& m = s.match[static_cast<std::size_t>(lane)];
-            wish[static_cast<std::size_t>(lane)] = m.valid() && m.distance < iact.threshold;
-            if (wish[static_cast<std::size_t>(lane)]) ++stats_.iact_hits;
-          }
-          s.wishes = sim::ballot(std::span<const bool>(wish.data(),
-                                                       static_cast<std::size_t>(warp_size_)),
-                                 s.active);
+          IactTable* warp_tables = tables_.data() + static_cast<std::size_t>(w) * tpw;
+          gather_(first_item, s.active, std::span<double>(s.in));
+          LaneMask wishes = 0;
+          sim::for_each_lane(s.active, [&](int lane) {
+            IactTable::Match& m = s.match[static_cast<std::size_t>(lane)];
+            m = warp_tables[lane / lanes_per_table].find_nearest(lane_in(s, lane));
+            if (m.valid() && m.distance < iact.threshold) {
+              wishes = sim::with_lane(wishes, lane);
+              ++stats_.iact_hits;
+            }
+          });
+          s.wishes = wishes;
           // Reading phase: every invocation pays the table scan — the cost
           // iACT can never amortize (paper insight 4).
           ledger.charge_compute(iact.table_size *
@@ -486,55 +616,61 @@ class RunContext {
           if (s.active == 0) continue;
           sim::WarpLedger& ledger = tracker_.warp(team, w);
           const std::uint64_t first_item = item_of(team, w, 0, step);
+          IactTable* warp_tables = tables_.data() + static_cast<std::size_t>(w) * tpw;
           LaneMask approx_mask = resolve_mask(s, block_decision);
           // A forced lane with an empty table has nothing to reuse; it
           // falls back to the accurate path.
-          for (int lane = 0; lane < warp_size_; ++lane) {
-            if (!sim::lane_active(approx_mask, lane)) continue;
-            if (!s.match[static_cast<std::size_t>(lane)].valid()) approx_mask &= ~(1ull << lane);
-          }
+          sim::for_each_lane(approx_mask, [&](int lane) {
+            if (!s.match[static_cast<std::size_t>(lane)].valid()) {
+              approx_mask &= ~(1ull << lane);
+            }
+          });
           count_forced(s, approx_mask);
           const LaneMask acc_mask = s.active & ~approx_mask;
           stats_.region_invocations += static_cast<std::uint64_t>(sim::popcount(s.active));
 
           double acc_cost = 0;
           double approx_cost = 0;
-          for (int lane = 0; lane < warp_size_; ++lane) {
-            if (!sim::lane_active(s.active, lane)) continue;
-            const std::uint64_t item = first_item + static_cast<std::uint64_t>(lane);
-            if (sim::lane_active(acc_mask, lane)) {
-              binding_.accurate(item, lane_in(s, lane), lane_out(lane));
-              binding_.commit(item, lane_out(lane));
-              acc_cost = std::max(acc_cost, binding_.accurate_cost(item));
-            } else {
-              const auto& m = s.match[static_cast<std::size_t>(lane)];
-              auto cached = table_of(w, lane).output_at(m.index);
-              std::copy(cached.begin(), cached.end(), lane_out(lane).begin());
-              table_of(w, lane).mark_used(m.index);
-              binding_.commit(item, lane_out(lane));
-            }
+          if (acc_mask != 0) {
+            accurate_(first_item, acc_mask, std::span<const double>(s.in), out);
           }
+          sim::for_each_lane(approx_mask, [&](int lane) {
+            IactTable& table = warp_tables[lane / lanes_per_table];
+            const auto& m = s.match[static_cast<std::size_t>(lane)];
+            auto cached = table.output_at(m.index);
+            std::copy(cached.begin(), cached.end(), lane_out(lane).begin());
+            table.mark_used(m.index);
+          });
+          commit_(first_item, s.active, out);
+          if (acc_mask != 0) acc_cost = cost_(first_item, acc_mask);
           if (approx_mask != 0) approx_cost = 2.0 * od;
 
           // Writing phase: one writer per table — the accurate lane whose
-          // input was farthest from every cached entry.
+          // input was farthest from every cached entry. One pass over the
+          // accurate lanes (ascending, so the first strictly-farther lane
+          // wins ties exactly as a per-table ascending scan would).
           if (acc_mask != 0) {
             ledger.charge_barrier(costs_.barrier);
+            std::array<int, 64> writer;
+            std::array<double, 64> farthest;
             for (int t = 0; t < tpw; ++t) {
-              int writer = -1;
-              double best = -1.0;
-              for (int lane = t * lanes_per_table; lane < (t + 1) * lanes_per_table; ++lane) {
-                if (!sim::lane_active(acc_mask, lane)) continue;
-                const auto& m = s.match[static_cast<std::size_t>(lane)];
-                const double d =
-                    m.valid() ? m.distance : std::numeric_limits<double>::infinity();
-                if (d > best) {
-                  best = d;
-                  writer = lane;
-                }
+              writer[static_cast<std::size_t>(t)] = -1;
+              farthest[static_cast<std::size_t>(t)] = -1.0;
+            }
+            sim::for_each_lane(acc_mask, [&](int lane) {
+              const auto& m = s.match[static_cast<std::size_t>(lane)];
+              const double d =
+                  m.valid() ? m.distance : std::numeric_limits<double>::infinity();
+              const auto t = static_cast<std::size_t>(lane / lanes_per_table);
+              if (d > farthest[t]) {
+                farthest[t] = d;
+                writer[t] = lane;
               }
-              if (writer < 0) continue;
-              table_of(w, writer).insert(lane_in(s, writer), lane_out(writer));
+            });
+            for (int t = 0; t < tpw; ++t) {
+              const int lane = writer[static_cast<std::size_t>(t)];
+              if (lane < 0) continue;
+              warp_tables[t].insert(lane_in(s, lane), lane_out(lane));
             }
             acc_cost += costs_.iact_insert_per_value * (id + od);
           }
@@ -557,8 +693,11 @@ class RunContext {
   const RegionBinding& binding_;
   std::uint64_t n_;
   sim::LaunchConfig launch_;
+  std::uint64_t team_begin_;
+  std::uint64_t team_end_;
   sim::KernelTracker tracker_;
   sim::CoalescingModel coalesce_;
+  sim::SharedMemoryArena arena_;
   int warp_size_;
   std::uint32_t threads_per_team_;
   std::uint32_t warps_per_team_;
@@ -567,12 +706,53 @@ class RunContext {
   ExecStats stats_;
   std::vector<double> out_buf_;
   std::vector<WarpScratch> scratch_;
+  std::vector<TafState> taf_states_;
+  std::vector<IactTable> tables_;
+
+  // Scalar-form adapters (referenced by the FunctionRefs below when the
+  // binding has no batched form).
+  ScalarGatherAdapter gather_adapter_;
+  ScalarAccurateAdapter accurate_adapter_;
+  ScalarCostAdapter cost_adapter_;
+  ScalarCommitAdapter commit_adapter_;
+
+  // Hot-path dispatch, bound once per launch.
+  FunctionRef<void(std::uint64_t, LaneMask, std::span<double>)> gather_;
+  FunctionRef<void(std::uint64_t, LaneMask, std::span<const double>, std::span<double>)>
+      accurate_;
+  FunctionRef<double(std::uint64_t, LaneMask)> cost_;
+  FunctionRef<void(std::uint64_t, LaneMask, std::span<const double>)> commit_;
 };
+
+/// Deterministic fold of shard counters (all commutative integer sums).
+void merge_stats(ExecStats& total, const ExecStats& shard) {
+  total.region_invocations += shard.region_invocations;
+  total.accurate_items += shard.accurate_items;
+  total.approx_items += shard.approx_items;
+  total.skipped_items += shard.skipped_items;
+  total.forced_approx += shard.forced_approx;
+  total.forced_accurate += shard.forced_accurate;
+  total.iact_hits += shard.iact_hits;
+  total.taf_stable_entries += shard.taf_stable_entries;
+}
 
 }  // namespace
 
 RegionExecutor::RegionExecutor(sim::DeviceConfig dev, Replacement replacement, RuntimeCosts costs)
-    : dev_(std::move(dev)), replacement_(replacement), costs_(costs) {}
+    : dev_(std::move(dev)),
+      replacement_(replacement),
+      costs_(costs),
+      tuning_(default_tuning()) {}
+
+void RegionExecutor::set_default_tuning(const ExecTuning& tuning) {
+  std::lock_guard<std::mutex> lock(tuning_mutex());
+  default_tuning_storage() = tuning;
+}
+
+ExecTuning RegionExecutor::default_tuning() {
+  std::lock_guard<std::mutex> lock(tuning_mutex());
+  return default_tuning_storage();
+}
 
 std::size_t RegionExecutor::ac_state_bytes_per_block(const pragma::ApproxSpec& spec,
                                                      const RegionBinding& binding,
@@ -594,13 +774,82 @@ std::size_t RegionExecutor::ac_state_bytes_per_block(const pragma::ApproxSpec& s
   }
 }
 
+RegionReport RegionExecutor::run_impl(const pragma::ApproxSpec& spec,
+                                      const RegionBinding& binding, std::uint64_t n,
+                                      const sim::LaunchConfig& launch, std::size_t ac_bytes,
+                                      const pragma::PerfoParams* composed_perfo) const {
+  const std::uint64_t teams = launch.num_teams;
+
+  // Decide the team-shard count. Sharding never changes results (each team
+  // is executed exactly as the serial engine would, and merges are
+  // deterministic), so this is purely a wall-clock decision: the binding
+  // must declare independent items, the launch must be big enough to
+  // amortize the fan-out, and the caller must not itself be a sweep worker
+  // that already owns the host cores.
+  std::size_t threads =
+      tuning_.max_threads != 0 ? tuning_.max_threads : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  const std::uint64_t shard_cap =
+      teams / std::max<std::uint64_t>(1, tuning_.min_teams_per_shard);
+  std::size_t shards = static_cast<std::size_t>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(threads), shard_cap));
+  if (!binding.independent_items || teams < tuning_.min_teams || n < tuning_.min_items ||
+      ThreadPool::on_worker_thread()) {
+    shards = 1;
+  }
+
+  std::unique_lock<std::mutex> pool_gate(exec_pool_gate(), std::defer_lock);
+  if (shards > 1 && !pool_gate.try_lock()) {
+    shards = 1;  // another launch is already fanned out on the shared pool
+  }
+
+  if (shards <= 1) {
+    RunContext ctx(dev_, replacement_, costs_, spec, binding, n, launch, ac_bytes,
+                   composed_perfo, 0, teams, tuning_.force_scalar);
+    ctx.execute_body();
+    return ctx.finalize_report();
+  }
+
+  // Contiguous, near-equal team ranges; shard s gets one extra team while
+  // the remainder lasts.
+  std::vector<std::unique_ptr<RunContext>> shard_ctxs;
+  shard_ctxs.reserve(shards);
+  const std::uint64_t per_shard = teams / shards;
+  const std::uint64_t extra = teams % shards;
+  std::uint64_t begin = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::uint64_t length = per_shard + (s < extra ? 1 : 0);
+    shard_ctxs.push_back(std::make_unique<RunContext>(
+        dev_, replacement_, costs_, spec, binding, n, launch, ac_bytes, composed_perfo, begin,
+        begin + length, tuning_.force_scalar));
+    begin += length;
+  }
+  exec_pool().parallel_for(shard_ctxs.size(),
+                           [&](std::size_t, std::size_t s) { shard_ctxs[s]->execute_body(); });
+
+  sim::KernelTracker total(dev_, launch, ac_bytes);
+  ExecStats stats;
+  stats.shared_bytes_per_block = ac_bytes;
+  for (const auto& ctx : shard_ctxs) {
+    total.merge(ctx->tracker());
+    merge_stats(stats, ctx->stats());
+  }
+  RegionReport report;
+  report.timing = total.finalize();
+  report.stats = stats;
+  return report;
+}
+
 RegionReport RegionExecutor::run(const pragma::ApproxSpec& spec, const RegionBinding& binding,
                                  std::uint64_t n, const sim::LaunchConfig& launch) const {
   spec.validate();
   launch.validate(dev_);
-  HPAC_REQUIRE(binding.accurate != nullptr, "region needs an accurate path");
-  HPAC_REQUIRE(binding.accurate_cost != nullptr, "region needs a cost function");
-  HPAC_REQUIRE(binding.commit != nullptr, "region needs a commit function");
+  HPAC_REQUIRE(binding.accurate != nullptr || binding.accurate_batch != nullptr,
+               "region needs an accurate path");
+  HPAC_REQUIRE(binding.accurate_cost != nullptr || binding.accurate_cost_batch != nullptr,
+               "region needs a cost function");
+  HPAC_REQUIRE(binding.commit != nullptr || binding.commit_batch != nullptr,
+               "region needs a commit function");
   HPAC_REQUIRE(binding.out_dims >= 1, "region needs at least one output");
   if (spec.technique == Technique::kIactMemo && binding.in_dims <= 0) {
     // The paper's MiniFE case: iACT "only supports computations with
@@ -616,8 +865,7 @@ RegionReport RegionExecutor::run(const pragma::ApproxSpec& spec, const RegionBin
         dev_.shared_mem_per_block));
   }
 
-  RunContext ctx(dev_, replacement_, costs_, spec, binding, n, launch, ac_bytes);
-  return ctx.execute();
+  return run_impl(spec, binding, n, launch, ac_bytes, nullptr);
 }
 
 RegionReport RegionExecutor::run_composed(const pragma::ApproxSpec& perfo_spec,
@@ -634,9 +882,12 @@ RegionReport RegionExecutor::run_composed(const pragma::ApproxSpec& perfo_spec,
     throw ConfigError("composed execution requires a memo(...) directive second");
   }
   launch.validate(dev_);
-  HPAC_REQUIRE(binding.accurate != nullptr, "region needs an accurate path");
-  HPAC_REQUIRE(binding.accurate_cost != nullptr, "region needs a cost function");
-  HPAC_REQUIRE(binding.commit != nullptr, "region needs a commit function");
+  HPAC_REQUIRE(binding.accurate != nullptr || binding.accurate_batch != nullptr,
+               "region needs an accurate path");
+  HPAC_REQUIRE(binding.accurate_cost != nullptr || binding.accurate_cost_batch != nullptr,
+               "region needs a cost function");
+  HPAC_REQUIRE(binding.commit != nullptr || binding.commit_batch != nullptr,
+               "region needs a commit function");
   if (memo_spec.technique == Technique::kIactMemo && binding.in_dims <= 0) {
     throw ConfigError("iACT requires uniform, fixed-width region inputs (in_dims > 0)");
   }
@@ -646,9 +897,7 @@ RegionReport RegionExecutor::run_composed(const pragma::ApproxSpec& perfo_spec,
         "AC state (%zu bytes) exceeds shared memory per block (%u bytes)", ac_bytes,
         dev_.shared_mem_per_block));
   }
-  RunContext ctx(dev_, replacement_, costs_, memo_spec, binding, n, launch, ac_bytes,
-                 &*perfo_spec.perfo);
-  return ctx.execute();
+  return run_impl(memo_spec, binding, n, launch, ac_bytes, &*perfo_spec.perfo);
 }
 
 }  // namespace hpac::approx

@@ -9,6 +9,7 @@
 #include "sim/device.hpp"
 #include "sim/launch.hpp"
 #include "sim/timing.hpp"
+#include "sim/warp.hpp"
 
 namespace hpac::approx {
 
@@ -18,12 +19,40 @@ namespace hpac::approx {
 /// closure so the accurate path is callable as a function (§3.3); this
 /// struct is the library-level equivalent. One invocation corresponds to
 /// one iteration of the parallel loop the directive decorates.
+///
+/// A binding comes in two forms, and may provide both:
+///
+///  * **Scalar** (`gather` / `accurate` / `accurate_cost` / `commit`):
+///    one `std::function` call per item — the original, compatibility
+///    form. The executor wraps it in an internal per-warp adapter, so
+///    scalar-only bindings keep working without code changes.
+///  * **Batched** (`gather_batch` / `accurate_batch` /
+///    `accurate_cost_batch` / `commit_batch`): one call services every
+///    active lane of a warp, eliminating the per-item dispatch the paper
+///    identifies as the cost software AC must not pay. Lane `l` of the
+///    mask handles item `first_item + l`, and its per-lane data lives at
+///    offset `l * dims` in the packed buffer. Active lanes are always a
+///    subset of the warp; iterate them with `sim::for_each_lane`.
+///
+/// When both forms are present the executor uses the batched one.
+///
+/// Warp evaluation order (both forms): the engine runs every lane's
+/// `accurate` before any lane's `commit` within a warp, so
+/// `accurate`/`gather` must not read state that `commit` writes for
+/// *other* items of the same warp. Warp-synchronous GPU code has the
+/// same constraint (lanes execute in lockstep), and no reproduced app
+/// depends on intra-warp commit-then-read ordering — but a scalar
+/// binding written against the pre-batching engine's interleaved
+/// per-lane order (e.g. a Gauss–Seidel-style in-place sweep) would
+/// observe different neighbor values and must be restructured.
 struct RegionBinding {
   /// Doubles per item gathered as the iACT input key (the `in(...)`
   /// sections). Zero for TAF/perforation-only regions.
   int in_dims = 0;
   /// Doubles per item the region produces (the `out(...)` sections).
   int out_dims = 1;
+
+  // --- scalar (compatibility) form ---------------------------------------
 
   /// Gather the item's declared inputs (required when in_dims > 0).
   std::function<void(std::uint64_t item, std::span<double> in)> gather;
@@ -42,10 +71,46 @@ struct RegionBinding {
   /// accurate and approximated items, not for perforated (skipped) ones.
   std::function<void(std::uint64_t item, std::span<const double> out)> commit;
 
+  // --- batched fast path (optional) ---------------------------------------
+
+  /// Gather inputs for every lane in `lanes`: lane `l` handles item
+  /// `first_item + l` and writes `in[l*in_dims .. l*in_dims+in_dims)`.
+  std::function<void(std::uint64_t first_item, sim::LaneMask lanes, std::span<double> in)>
+      gather_batch;
+
+  /// Run the accurate path for every lane in `lanes`; outputs go to
+  /// `out[l*out_dims .. l*out_dims+out_dims)`. `in` is the gathered batch
+  /// buffer (empty when the region was not gathered).
+  std::function<void(std::uint64_t first_item, sim::LaneMask lanes,
+                     std::span<const double> in, std::span<double> out)>
+      accurate_batch;
+
+  /// Max accurate-path cycles over the lanes in `lanes` (the warp's SIMT
+  /// cost). Constant-cost regions return the constant in O(1).
+  std::function<double(std::uint64_t first_item, sim::LaneMask lanes)> accurate_cost_batch;
+
+  /// Commit outputs for every lane in `lanes`, in ascending lane order.
+  std::function<void(std::uint64_t first_item, sim::LaneMask lanes,
+                     std::span<const double> out)>
+      commit_batch;
+
+  // --- traffic model -------------------------------------------------------
+
   /// Global-memory bytes the accurate path loads/stores per item; drives
   /// the coalescing model.
   std::uint32_t in_bytes = 8;
   std::uint32_t out_bytes = 8;
+
+  /// Declares that the binding's callbacks touch only item-local state (or
+  /// commute exactly, like integer counters), so region invocations of
+  /// *different items* may run on different host threads. This is what
+  /// allows the executor to shard a large launch's teams across the host
+  /// thread pool; results stay bit-identical because every item is still
+  /// executed by exactly one thread in the same per-team order. Leave
+  /// false (the default) for bindings that accumulate floating-point
+  /// values across items (order-dependent rounding) or mutate shared
+  /// non-atomic state.
+  bool independent_items = false;
 };
 
 /// Execution counters produced by a region run.
@@ -94,6 +159,27 @@ struct RuntimeCosts {
   double perfo_check = 2.0;           ///< counter/modulo predicate
 };
 
+/// Knobs of the executor's team-sharded host parallelism. Sharding only
+/// ever changes wall-clock time, never results: a launch is split into
+/// contiguous team ranges, each executed exactly as the serial engine
+/// would, and the per-warp ledgers and counters are merged
+/// deterministically.
+struct ExecTuning {
+  /// Host threads a single launch may use. 0 = hardware concurrency;
+  /// 1 disables team sharding.
+  std::size_t max_threads = 0;
+  /// Launches with fewer teams than this run serially.
+  std::uint64_t min_teams = 8;
+  /// Launches covering fewer items than this run serially (sharding
+  /// overhead would dominate).
+  std::uint64_t min_items = 1u << 14;
+  /// Lower bound on teams per shard when splitting.
+  std::uint64_t min_teams_per_shard = 4;
+  /// Testing/diagnostics: route batched bindings through the scalar
+  /// compatibility adapter (requires the scalar form to be present).
+  bool force_scalar = false;
+};
+
 /// Executes an annotated region over a 1-D iteration space on the
 /// simulated device, following the HPAC-Offload GPU algorithms:
 /// grid-stride TAF (Figure 4d), warp-shared iACT tables with read/write
@@ -104,6 +190,12 @@ struct RuntimeCosts {
 /// call: it owns AC state placement in block shared memory (and therefore
 /// the occupancy impact), the activation functions, and the SIMT cost
 /// accounting.
+///
+/// Large launches whose binding declares `independent_items` are split
+/// into contiguous team ranges executed concurrently on a shared host
+/// thread pool — unless the caller is itself a ThreadPool worker (an
+/// Explorer/Campaign fan-out already owns the cores). Results are
+/// bit-identical to serial execution either way.
 class RegionExecutor {
  public:
   explicit RegionExecutor(sim::DeviceConfig dev,
@@ -143,10 +235,26 @@ class RegionExecutor {
 
   const sim::DeviceConfig& device() const { return dev_; }
 
+  /// Per-executor parallelism knobs (seeded from `default_tuning()`).
+  void set_tuning(const ExecTuning& tuning) { tuning_ = tuning; }
+  const ExecTuning& tuning() const { return tuning_; }
+
+  /// Process-wide default tuning picked up by every subsequently
+  /// constructed executor — the hook tests and benches use to force the
+  /// scalar-adapter or team-parallel paths inside apps that construct
+  /// their own executors.
+  static void set_default_tuning(const ExecTuning& tuning);
+  static ExecTuning default_tuning();
+
  private:
+  RegionReport run_impl(const pragma::ApproxSpec& spec, const RegionBinding& binding,
+                        std::uint64_t n, const sim::LaunchConfig& launch,
+                        std::size_t ac_bytes, const pragma::PerfoParams* composed_perfo) const;
+
   sim::DeviceConfig dev_;
   Replacement replacement_;
   RuntimeCosts costs_;
+  ExecTuning tuning_;
 };
 
 }  // namespace hpac::approx

@@ -8,6 +8,10 @@
 
 namespace hpac::approx {
 
+namespace detail {
+void throw_taf_dims_mismatch() { throw Error("TAF output dimensionality mismatch"); }
+}  // namespace detail
+
 TafState::TafState(const pragma::TafParams& params, int out_dims, std::span<double> storage)
     : params_(params), out_dims_(out_dims) {
   HPAC_REQUIRE(params.history_size >= 1, "TAF history size must be >= 1");
@@ -59,34 +63,6 @@ double TafState::window_rsd() const {
     max_rsd = std::max(max_rsd, rsd);
   }
   return max_rsd;
-}
-
-void TafState::record_accurate(std::span<const double> outputs) {
-  HPAC_REQUIRE(outputs.size() == static_cast<std::size_t>(out_dims_),
-               "TAF output dimensionality mismatch");
-  for (int d = 0; d < out_dims_; ++d) {
-    window_[static_cast<std::size_t>(cursor_) * out_dims_ + d] = outputs[d];
-    last_[static_cast<std::size_t>(d)] = outputs[d];
-  }
-  has_last_ = true;
-  cursor_ = (cursor_ + 1) % params_.history_size;
-  filled_ = std::min(filled_ + 1, params_.history_size);
-  if (filled_ == params_.history_size && window_rsd() < params_.rsd_threshold) {
-    // Stable regime: grant pSize predictions and restart the history so the
-    // next decision is based on fresh post-regime outputs.
-    credits_ = params_.prediction_size;
-    filled_ = 0;
-    cursor_ = 0;
-  }
-}
-
-void TafState::predict(std::span<double> outputs) {
-  HPAC_REQUIRE(outputs.size() == static_cast<std::size_t>(out_dims_),
-               "TAF output dimensionality mismatch");
-  for (int d = 0; d < out_dims_; ++d) {
-    outputs[static_cast<std::size_t>(d)] = has_last_ ? last_[static_cast<std::size_t>(d)] : 0.0;
-  }
-  if (credits_ > 0) --credits_;
 }
 
 }  // namespace hpac::approx

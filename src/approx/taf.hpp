@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -39,6 +40,18 @@ class TafState {
   /// Bytes including the integer bookkeeping (cursor, fill count, credits).
   static std::size_t footprint_bytes(int history_size, int out_dims);
 
+  /// Return the state machine to its just-constructed state (empty window,
+  /// no credits, no prediction) without touching the storage span. The
+  /// executor reuses one set of states across all teams of a launch —
+  /// `reset()` between teams is the paper's "destroyed at kernel end"
+  /// semantics without the per-team reallocation.
+  void reset() {
+    filled_ = 0;
+    cursor_ = 0;
+    credits_ = 0;
+    has_last_ = false;
+  }
+
   /// Activation function: true while the thread holds prediction credits.
   bool should_approximate() const { return credits_ > 0; }
 
@@ -49,12 +62,15 @@ class TafState {
 
   /// Record the outputs of an accurate execution; slides the window and,
   /// when the window is full and max-RSD < threshold, enters the stable
-  /// regime (granting `pSize` credits) and restarts the window.
+  /// regime (granting `pSize` credits) and restarts the window. Defined
+  /// inline below — it runs once per accurate item in the executor's hot
+  /// loop.
   void record_accurate(std::span<const double> outputs);
 
   /// Produce the memoized prediction (the most recent accurate output).
   /// Consumes one credit when available; forced predictions (credits == 0)
-  /// are permitted for group decisions and consume nothing.
+  /// are permitted for group decisions and consume nothing. Inline for the
+  /// same reason as `record_accurate`.
   void predict(std::span<double> outputs);
 
   int credits() const { return credits_; }
@@ -73,5 +89,41 @@ class TafState {
   int credits_ = 0;
   bool has_last_ = false;
 };
+
+namespace detail {
+/// Out-of-line throw keeps the inlined state-machine paths free of
+/// exception machinery.
+[[noreturn]] void throw_taf_dims_mismatch();
+}  // namespace detail
+
+inline void TafState::record_accurate(std::span<const double> outputs) {
+  if (outputs.size() != static_cast<std::size_t>(out_dims_)) {
+    detail::throw_taf_dims_mismatch();
+  }
+  for (int d = 0; d < out_dims_; ++d) {
+    window_[static_cast<std::size_t>(cursor_) * out_dims_ + d] = outputs[d];
+    last_[static_cast<std::size_t>(d)] = outputs[d];
+  }
+  has_last_ = true;
+  cursor_ = (cursor_ + 1) % params_.history_size;
+  filled_ = std::min(filled_ + 1, params_.history_size);
+  if (filled_ == params_.history_size && window_rsd() < params_.rsd_threshold) {
+    // Stable regime: grant pSize predictions and restart the history so the
+    // next decision is based on fresh post-regime outputs.
+    credits_ = params_.prediction_size;
+    filled_ = 0;
+    cursor_ = 0;
+  }
+}
+
+inline void TafState::predict(std::span<double> outputs) {
+  if (outputs.size() != static_cast<std::size_t>(out_dims_)) {
+    detail::throw_taf_dims_mismatch();
+  }
+  for (int d = 0; d < out_dims_; ++d) {
+    outputs[static_cast<std::size_t>(d)] = has_last_ ? last_[static_cast<std::size_t>(d)] : 0.0;
+  }
+  if (credits_ > 0) --credits_;
+}
 
 }  // namespace hpac::approx

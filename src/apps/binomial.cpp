@@ -93,23 +93,27 @@ harness::RunOutput BinomialOptions::run(const pragma::ApproxSpec& spec,
     binding.out_dims = 1;
     binding.in_bytes = 3 * sizeof(double);
     binding.out_bytes = sizeof(double);
-    binding.gather = [this](std::uint64_t i, std::span<double> in) {
+    const auto gather_one = [this](std::uint64_t i, double* in) {
       in[0] = spot_[i];
       in[1] = strike_[i];
       in[2] = expiry_[i];
     };
-    binding.accurate = [this](std::uint64_t i, std::span<const double>, std::span<double> out) {
+    const auto price_one = [this](std::uint64_t i, double* out) {
       out[0] = tree_price(spot_[i], strike_[i], expiry_[i], params_.tree_steps, kRiskFree,
                           kVolatility);
     };
+    const auto commit_one = [&prices](std::uint64_t i, const double* out) {
+      prices[i] = out[0];
+    };
+    bind_gather(binding, gather_one);
+    bind_accurate(binding, price_one);
     // Backward induction is O(steps^2 / 2) fused multiply-adds plus the
     // leaf setup; the cost model charges the canonical benchmark's tree
     // depth (see Params::modeled_tree_steps).
     const double steps = static_cast<double>(params_.modeled_tree_steps);
-    binding.accurate_cost = [steps](std::uint64_t) { return 3.0 * steps * steps / 2.0 + 40.0; };
-    binding.commit = [&prices](std::uint64_t i, std::span<const double> out) {
-      prices[i] = out[0];
-    };
+    bind_constant_cost(binding, 3.0 * steps * steps / 2.0 + 40.0);
+    bind_commit(binding, commit_one);
+    binding.independent_items = true;  // each item touches only prices[i]
 
     const sim::LaunchConfig launch =
         sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());

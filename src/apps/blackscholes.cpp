@@ -84,22 +84,26 @@ harness::RunOutput Blackscholes::run(const pragma::ApproxSpec& spec,
     binding.out_dims = 1;
     binding.in_bytes = 5 * sizeof(double);
     binding.out_bytes = sizeof(double);
-    binding.gather = [this](std::uint64_t i, std::span<double> in) {
+    const auto gather_one = [this](std::uint64_t i, double* in) {
       in[0] = spot_[i];
       in[1] = strike_[i];
       in[2] = rate_[i];
       in[3] = volatility_[i];
       in[4] = expiry_[i];
     };
-    binding.accurate = [this](std::uint64_t i, std::span<const double>, std::span<double> out) {
+    const auto price_one = [this](std::uint64_t i, double* out) {
       out[0] = call_price(spot_[i], strike_[i], rate_[i], volatility_[i], expiry_[i]);
     };
-    // log, exp, sqrt, the CND polynomial twice: ~60 floating-point
-    // operations plus two special functions.
-    binding.accurate_cost = [](std::uint64_t) { return 180.0; };
-    binding.commit = [&prices](std::uint64_t i, std::span<const double> out) {
+    const auto commit_one = [&prices](std::uint64_t i, const double* out) {
       prices[i] = out[0];
     };
+    bind_gather(binding, gather_one);
+    bind_accurate(binding, price_one);
+    // log, exp, sqrt, the CND polynomial twice: ~60 floating-point
+    // operations plus two special functions.
+    bind_constant_cost(binding, 180.0);
+    bind_commit(binding, commit_one);
+    binding.independent_items = true;  // each item touches only prices[i]
 
     const sim::LaunchConfig launch =
         sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());

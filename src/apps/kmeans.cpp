@@ -1,6 +1,8 @@
 #include "apps/kmeans.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstring>
 
 #include "apps/support.hpp"
 #include "common/rng.hpp"
@@ -63,11 +65,11 @@ harness::RunOutput KMeans::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   binding.out_dims = 1; // assigned cluster id
   binding.in_bytes = static_cast<std::uint32_t>(d) * sizeof(double);
   binding.out_bytes = sizeof(int);
-  binding.gather = [this, d](std::uint64_t i, std::span<double> in) {
-    for (int j = 0; j < d; ++j) in[static_cast<std::size_t>(j)] = points_[i * d + j];
+  const auto gather_one = [this, d](std::uint64_t i, double* in) {
+    std::memcpy(in, points_.data() + i * static_cast<std::uint64_t>(d),
+                static_cast<std::size_t>(d) * sizeof(double));
   };
-  binding.accurate = [this, d, k, &centroids](std::uint64_t i, std::span<const double>,
-                                              std::span<double> out) {
+  const auto assign_one = [this, d, k, &centroids](std::uint64_t i, double* out) {
     int best = 0;
     double best_dist = std::numeric_limits<double>::infinity();
     for (int c = 0; c < k; ++c) {
@@ -83,16 +85,23 @@ harness::RunOutput KMeans::run(const pragma::ApproxSpec& spec, std::uint64_t ite
     }
     out[0] = static_cast<double>(best);
   };
-  binding.accurate_cost = [d, k](std::uint64_t) { return 3.0 * d * k + 2.0 * k; };
+  bind_gather(binding, gather_one);
+  bind_accurate(binding, assign_one);
+  bind_constant_cost(binding, 3.0 * d * k + 2.0 * k);
 
-  std::uint64_t changed = 0;
-  binding.commit = [&membership, &changed](std::uint64_t i, std::span<const double> out) {
+  // `changed` commutes (integer adds), so commits of different items may
+  // run on different executor shards; the atomic makes that race-free
+  // without affecting the count.
+  std::atomic<std::uint64_t> changed{0};
+  const auto commit_one = [&membership, &changed](std::uint64_t i, const double* out) {
     const int assigned = static_cast<int>(out[0]);
     if (membership[i] != assigned) {
       membership[i] = assigned;
-      ++changed;
+      changed.fetch_add(1, std::memory_order_relaxed);
     }
   };
+  bind_commit(binding, commit_one);
+  binding.independent_items = true;  // membership[i] writes + commuting counter
 
   const sim::LaunchConfig launch =
       sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());

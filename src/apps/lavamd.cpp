@@ -110,7 +110,7 @@ harness::RunOutput LavaMd::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   const auto neighbor_of = [n_particles](std::uint64_t item) {
     return static_cast<int>(item / n_particles);
   };
-  force_binding.gather = [&](std::uint64_t item, std::span<double> in) {
+  const auto gather_one = [&](std::uint64_t item, double* in) {
     const std::uint64_t i = particle_of(item);
     const auto [bx, by, bz] = box_coords(i);
     const auto& off = offsets[static_cast<std::size_t>(neighbor_of(item))];
@@ -119,8 +119,8 @@ harness::RunOutput LavaMd::run(const pragma::ApproxSpec& spec, std::uint64_t ite
     in[2] = pos_[i * 3 + 2] - (bz + off[2] + 0.5) * kBoxSize;
     in[3] = charge_[i];
   };
-  force_binding.accurate = [&](std::uint64_t item, std::span<const double>,
-                               std::span<double> out) {
+  bind_gather(force_binding, gather_one);
+  const auto force_one = [&](std::uint64_t item, double* out) {
     const std::uint64_t i = particle_of(item);
     const auto& off = offsets[static_cast<std::size_t>(neighbor_of(item))];
     const auto [bx, by, bz] = box_coords(i);
@@ -158,15 +158,20 @@ harness::RunOutput LavaMd::run(const pragma::ApproxSpec& spec, std::uint64_t ite
     out[2] = fy;
     out[3] = fz;
   };
+  bind_accurate(force_binding, force_one);
   // One neighbor box: ppb interactions of ~14 FLOPs (distance + exp).
-  force_binding.accurate_cost = [ppb](std::uint64_t) { return ppb * 14.0 + 8.0; };
-  force_binding.commit = [&](std::uint64_t item, std::span<const double> out) {
+  bind_constant_cost(force_binding, ppb * 14.0 + 8.0);
+  const auto commit_one = [&](std::uint64_t item, const double* out) {
     const std::uint64_t i = particle_of(item);
     potential[i] += out[0];
     force[i * 3 + 0] += out[1];
     force[i * 3 + 1] += out[2];
     force[i * 3 + 2] += out[3];
   };
+  bind_commit(force_binding, commit_one);
+  // NOT independent_items: a particle's 27 neighbor contributions +=
+  // into the same accumulators, and that floating-point order must match
+  // serial execution bit-for-bit.
 
   // `items_per_thread` counts particles per thread; every particle brings
   // 27 neighbor-box region invocations.
@@ -182,18 +187,20 @@ harness::RunOutput LavaMd::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   move_binding.out_dims = 3;
   move_binding.in_bytes = 6 * sizeof(double);
   move_binding.out_bytes = 3 * sizeof(double);
-  move_binding.accurate = [this, &force](std::uint64_t i, std::span<const double>,
-                                         std::span<double> out) {
+  const auto move_one = [this, &force](std::uint64_t i, double* out) {
     out[0] = pos_[i * 3 + 0] + kDt * force[i * 3 + 0];
     out[1] = pos_[i * 3 + 1] + kDt * force[i * 3 + 1];
     out[2] = pos_[i * 3 + 2] + kDt * force[i * 3 + 2];
   };
-  move_binding.accurate_cost = [](std::uint64_t) { return 9.0; };
-  move_binding.commit = [&new_pos](std::uint64_t i, std::span<const double> out) {
+  bind_accurate(move_binding, move_one);
+  bind_constant_cost(move_binding, 9.0);
+  const auto commit_move = [&new_pos](std::uint64_t i, const double* out) {
     new_pos[i * 3 + 0] = out[0];
     new_pos[i * 3 + 1] = out[1];
     new_pos[i * 3 + 2] = out[2];
   };
+  bind_commit(move_binding, commit_move);
+  move_binding.independent_items = true;  // each item touches only new_pos[i]
   const sim::LaunchConfig move_launch =
       sim::launch_for_items_per_thread(n_particles, 1, threads_per_team());
   launch_kernel(dev, executor, apps::accurate_spec(), move_binding, n_particles, move_launch,

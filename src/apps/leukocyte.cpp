@@ -76,7 +76,7 @@ harness::RunOutput Leukocyte::run(const pragma::ApproxSpec& spec,
   imgvf.out_dims = 1;
   imgvf.in_bytes = 6 * sizeof(double);
   imgvf.out_bytes = sizeof(double);
-  imgvf.gather = [&](std::uint64_t item, std::span<double> in) {
+  const auto gather_one = [&](std::uint64_t item, double* in) {
     const auto [cell, i, j] = decode(item);
     in[0] = at(cell, i, j);
     in[1] = image_[item];
@@ -85,7 +85,8 @@ harness::RunOutput Leukocyte::run(const pragma::ApproxSpec& spec,
     in[4] = at(cell, i, j - 1);
     in[5] = at(cell, i, j + 1);
   };
-  imgvf.accurate = [&](std::uint64_t item, std::span<const double>, std::span<double> out) {
+  bind_gather(imgvf, gather_one);
+  const auto imgvf_one = [&](std::uint64_t item, double* out) {
     const auto [cell, i, j] = decode(item);
     const double val = at(cell, i, j);
     // Heaviside-weighted neighbor flow (the IMGVF kernel's directional
@@ -101,11 +102,14 @@ harness::RunOutput Leukocyte::run(const pragma::ApproxSpec& spec,
     const double img = image_[item];
     out[0] = val + mu * flow - lambda * (val - img) * img * img;
   };
+  bind_accurate(imgvf, imgvf_one);
   // Four heaviside evaluations (exp) dominate: ~30 cycles each.
-  imgvf.accurate_cost = [](std::uint64_t) { return 140.0; };
-  imgvf.commit = [&next](std::uint64_t item, std::span<const double> out) {
+  bind_constant_cost(imgvf, 140.0);
+  const auto commit_one = [&next](std::uint64_t item, const double* out) {
     next[item] = out[0];
   };
+  bind_commit(imgvf, commit_one);
+  imgvf.independent_items = true;  // reads `field`, writes only next[item]
 
   const sim::LaunchConfig launch =
       sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());

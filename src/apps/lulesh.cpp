@@ -47,13 +47,13 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   hourglass_control.out_dims = 1;
   hourglass_control.in_bytes = 4 * sizeof(double);
   hourglass_control.out_bytes = sizeof(double);
-  hourglass_control.gather = [&](std::uint64_t j, std::span<double> in) {
+  const auto hourglass_gather_one = [&](std::uint64_t j, double* in) {
     in[0] = rho[j];
     in[1] = e[j];
     in[2] = u[j + 1] - u[j];
   };
-  hourglass_control.accurate = [&](std::uint64_t j, std::span<const double>,
-                                   std::span<double> out) {
+  bind_gather(hourglass_control, hourglass_gather_one);
+  const auto hourglass_one = [&](std::uint64_t j, double* out) {
     const double du = u[j + 1] - u[j];
     const double cs = std::sqrt(gamma * std::max(p[j], 0.0) / rho[j]);
     double visc = 0.0;
@@ -65,12 +65,12 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
     visc += kHourglassCoef * rho[j] * cs * std::abs(du);
     out[0] = visc;
   };
+  bind_accurate(hourglass_control, hourglass_one);
   // The 3-D kernel loops over 8 hourglass modes per element with gathers
   // from 8 nodes — a few hundred cycles.
-  hourglass_control.accurate_cost = [](std::uint64_t) { return 220.0; };
-  hourglass_control.commit = [&](std::uint64_t j, std::span<const double> out) {
-    q[j] = out[0];
-  };
+  bind_constant_cost(hourglass_control, 220.0);
+  bind_commit(hourglass_control, [&](std::uint64_t j, const double* out) { q[j] = out[0]; });
+  hourglass_control.independent_items = true;  // writes only q[j]
 
   // --- kernel 2: CalcFBHourglassForceForElems (approximated) -------------
   approx::RegionBinding fb_hourglass;
@@ -78,20 +78,21 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   fb_hourglass.out_dims = 1;
   fb_hourglass.in_bytes = 2 * sizeof(double);
   fb_hourglass.out_bytes = sizeof(double);
-  fb_hourglass.gather = [&](std::uint64_t j, std::span<double> in) {
+  const auto fb_gather_one = [&](std::uint64_t j, double* in) {
     in[0] = p[j];
     in[1] = q[j];
   };
-  fb_hourglass.accurate = [&](std::uint64_t j, std::span<const double>, std::span<double> out) {
+  bind_gather(fb_hourglass, fb_gather_one);
+  const auto fb_one = [&](std::uint64_t j, double* out) {
     const double cs = std::sqrt(gamma * std::max(p[j], 0.0) / rho[j]);
     const double du = u[j + 1] - u[j];
     // Stress plus an hourglass-force correction term.
     out[0] = p[j] + q[j] + kHourglassCoef * rho[j] * cs * du;
   };
-  fb_hourglass.accurate_cost = [](std::uint64_t) { return 180.0; };
-  fb_hourglass.commit = [&](std::uint64_t j, std::span<const double> out) {
-    sigma[j] = out[0];
-  };
+  bind_accurate(fb_hourglass, fb_one);
+  bind_constant_cost(fb_hourglass, 180.0);
+  bind_commit(fb_hourglass, [&](std::uint64_t j, const double* out) { sigma[j] = out[0]; });
+  fb_hourglass.independent_items = true;  // writes only sigma[j]
 
   // --- kernel 3: node update (accurate) -----------------------------------
   double dt = 1e-6;
@@ -100,7 +101,7 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   node_update.out_dims = 2;
   node_update.in_bytes = 4 * sizeof(double);
   node_update.out_bytes = 2 * sizeof(double);
-  node_update.accurate = [&](std::uint64_t i, std::span<const double>, std::span<double> out) {
+  const auto node_one = [&](std::uint64_t i, double* out) {
     if (i == 0) {  // reflective wall at the origin
       out[0] = 0.0;
       out[1] = x[0];
@@ -114,11 +115,14 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
     out[0] = vel;
     out[1] = x[i] + vel * dt;
   };
-  node_update.accurate_cost = [](std::uint64_t) { return 16.0; };
-  node_update.commit = [&](std::uint64_t i, std::span<const double> out) {
+  bind_accurate(node_update, node_one);
+  bind_constant_cost(node_update, 16.0);
+  bind_commit(node_update, [&](std::uint64_t i, const double* out) {
     u[i] = out[0];
     x[i] = out[1];
-  };
+  });
+  // Item i reads only its own u[i]/x[i] plus sigma (not written here).
+  node_update.independent_items = true;
 
   // --- kernel 4: element update, EOS (accurate) ---------------------------
   approx::RegionBinding elem_update;
@@ -126,7 +130,7 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   elem_update.out_dims = 3;
   elem_update.in_bytes = 5 * sizeof(double);
   elem_update.out_bytes = 3 * sizeof(double);
-  elem_update.accurate = [&](std::uint64_t j, std::span<const double>, std::span<double> out) {
+  const auto elem_one = [&](std::uint64_t j, double* out) {
     const double new_volume = x[j + 1] - x[j];
     const double dv = new_volume - volume[j];
     double energy = e[j] - (p[j] + q[j]) * dv / elem_mass;
@@ -136,13 +140,16 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
     out[1] = density;
     out[2] = new_volume;
   };
-  elem_update.accurate_cost = [](std::uint64_t) { return 24.0; };
-  elem_update.commit = [&](std::uint64_t j, std::span<const double> out) {
+  bind_accurate(elem_update, elem_one);
+  bind_constant_cost(elem_update, 24.0);
+  bind_commit(elem_update, [&](std::uint64_t j, const double* out) {
     e[j] = out[0];
     rho[j] = out[1];
     volume[j] = out[2];
     p[j] = (gamma - 1.0) * rho[j] * e[j];
-  };
+  });
+  // Item j reads x[j+1] (not written here) and its own element fields.
+  elem_update.independent_items = true;
 
   const sim::LaunchConfig approx_launch =
       sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());

@@ -60,17 +60,29 @@ harness::RunOutput MiniFe::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   spmv.out_dims = 1;
   spmv.in_bytes = 7 * (sizeof(double) + sizeof(std::uint64_t)) + sizeof(double);
   spmv.out_bytes = sizeof(double);
-  spmv.accurate = [&](std::uint64_t row, std::span<const double>, std::span<double> out) {
+  const auto spmv_one = [&](std::uint64_t row, double* out) {
     double sum = 0.0;
     for (std::uint64_t idx = row_ptr_[row]; idx < row_ptr_[row + 1]; ++idx) {
       sum += values_[idx] * p[col_idx_[idx]];
     }
     out[0] = sum;
   };
+  bind_accurate(spmv, spmv_one);
   spmv.accurate_cost = [this](std::uint64_t row) {
     return 6.0 * static_cast<double>(row_ptr_[row + 1] - row_ptr_[row]) + 10.0;
   };
-  spmv.commit = [&ap](std::uint64_t row, std::span<const double> out) { ap[row] = out[0]; };
+  // Row widths vary (the CSR structure), so the batched cost is a real
+  // max over the warp's rows — not a constant_cost_lanes candidate.
+  spmv.accurate_cost_batch = [this](std::uint64_t first, sim::LaneMask lanes) {
+    double cost = 0.0;
+    sim::for_each_lane(lanes, [&](int lane) {
+      const std::uint64_t row = first + static_cast<std::uint64_t>(lane);
+      cost = std::max(cost, 6.0 * static_cast<double>(row_ptr_[row + 1] - row_ptr_[row]) + 10.0);
+    });
+    return cost;
+  };
+  bind_commit(spmv, [&ap](std::uint64_t row, const double* out) { ap[row] = out[0]; });
+  spmv.independent_items = true;  // reads p (stable here), writes only ap[row]
 
   // --- vector kernels (accurate) -------------------------------------------
   double dot_acc = 0.0;
@@ -78,48 +90,47 @@ harness::RunOutput MiniFe::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   dot_pap.out_dims = 1;
   dot_pap.in_bytes = 2 * sizeof(double);
   dot_pap.out_bytes = 0;
-  dot_pap.accurate = [&](std::uint64_t i, std::span<const double>, std::span<double> out) {
-    out[0] = p[i] * ap[i];
-  };
-  dot_pap.accurate_cost = [](std::uint64_t) { return 4.0; };
-  dot_pap.commit = [&dot_acc](std::uint64_t, std::span<const double> out) { dot_acc += out[0]; };
+  bind_accurate(dot_pap, [&](std::uint64_t i, double* out) { out[0] = p[i] * ap[i]; });
+  bind_constant_cost(dot_pap, 4.0);
+  bind_commit(dot_pap, [&dot_acc](std::uint64_t, const double* out) { dot_acc += out[0]; });
+  // NOT independent_items: the dot product accumulates in serial item
+  // order, which team sharding would reorder.
 
   double alpha = 0.0;
   approx::RegionBinding update_x_r;
   update_x_r.out_dims = 2;
   update_x_r.in_bytes = 4 * sizeof(double);
   update_x_r.out_bytes = 2 * sizeof(double);
-  update_x_r.accurate = [&](std::uint64_t i, std::span<const double>, std::span<double> out) {
+  bind_accurate(update_x_r, [&](std::uint64_t i, double* out) {
     out[0] = x[i] + alpha * p[i];
     out[1] = r[i] - alpha * ap[i];
-  };
-  update_x_r.accurate_cost = [](std::uint64_t) { return 8.0; };
-  update_x_r.commit = [&](std::uint64_t i, std::span<const double> out) {
+  });
+  bind_constant_cost(update_x_r, 8.0);
+  bind_commit(update_x_r, [&](std::uint64_t i, const double* out) {
     x[i] = out[0];
     r[i] = out[1];
-  };
+  });
+  update_x_r.independent_items = true;  // touches only x[i], r[i]
 
   double rr_acc = 0.0;
   approx::RegionBinding dot_rr;
   dot_rr.out_dims = 1;
   dot_rr.in_bytes = sizeof(double);
   dot_rr.out_bytes = 0;
-  dot_rr.accurate = [&](std::uint64_t i, std::span<const double>, std::span<double> out) {
-    out[0] = r[i] * r[i];
-  };
-  dot_rr.accurate_cost = [](std::uint64_t) { return 3.0; };
-  dot_rr.commit = [&rr_acc](std::uint64_t, std::span<const double> out) { rr_acc += out[0]; };
+  bind_accurate(dot_rr, [&](std::uint64_t i, double* out) { out[0] = r[i] * r[i]; });
+  bind_constant_cost(dot_rr, 3.0);
+  bind_commit(dot_rr, [&rr_acc](std::uint64_t, const double* out) { rr_acc += out[0]; });
+  // NOT independent_items: serial-order floating-point reduction.
 
   double beta = 0.0;
   approx::RegionBinding update_p;
   update_p.out_dims = 1;
   update_p.in_bytes = 2 * sizeof(double);
   update_p.out_bytes = sizeof(double);
-  update_p.accurate = [&](std::uint64_t i, std::span<const double>, std::span<double> out) {
-    out[0] = r[i] + beta * p[i];
-  };
-  update_p.accurate_cost = [](std::uint64_t) { return 4.0; };
-  update_p.commit = [&p](std::uint64_t i, std::span<const double> out) { p[i] = out[0]; };
+  bind_accurate(update_p, [&](std::uint64_t i, double* out) { out[0] = r[i] + beta * p[i]; });
+  bind_constant_cost(update_p, 4.0);
+  bind_commit(update_p, [&p](std::uint64_t i, const double* out) { p[i] = out[0]; });
+  update_p.independent_items = true;  // touches only p[i]
 
   const sim::LaunchConfig spmv_launch =
       sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace hpac {
+
+/// A non-owning, trivially copyable reference to a callable: one data
+/// pointer plus one thunk pointer, so invoking it is a single indirect
+/// call with no allocation, no virtual dispatch and no wrapper state.
+///
+/// The region executor binds its hot-path operations (gather / accurate /
+/// cost / commit) through `FunctionRef` once per kernel launch instead of
+/// going through `std::function` once per item — the devirtualization half
+/// of the fast execution path. The referenced callable must outlive the
+/// `FunctionRef`; bind named lambdas or long-lived `std::function`
+/// members, never temporaries.
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  constexpr FunctionRef() noexcept = default;
+
+  /// Bind any callable with a compatible signature. Intentionally not
+  /// `explicit` so call sites read like assigning a function pointer.
+  template <typename F,
+            std::enable_if_t<!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                                 std::is_invocable_r_v<R, F&, Args...>,
+                             int> = 0>
+  constexpr FunctionRef(F&& callable) noexcept  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(static_cast<const void*>(std::addressof(callable)))),
+        thunk_([](void* object, Args... args) -> R {
+          return std::invoke(*static_cast<std::remove_reference_t<F>*>(object),
+                             std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return thunk_(object_, std::forward<Args>(args)...); }
+
+  /// True when a callable is bound.
+  constexpr explicit operator bool() const noexcept { return thunk_ != nullptr; }
+
+ private:
+  void* object_ = nullptr;
+  R (*thunk_)(void*, Args...) = nullptr;
+};
+
+}  // namespace hpac

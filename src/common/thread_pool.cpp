@@ -4,6 +4,12 @@
 
 namespace hpac {
 
+namespace {
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   workers_.reserve(num_threads);
   for (std::size_t w = 0; w < num_threads; ++w) {
@@ -21,6 +27,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop(std::size_t worker_id) {
+  t_on_worker_thread = true;
   std::uint64_t seen_generation = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {

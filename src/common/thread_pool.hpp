@@ -41,6 +41,12 @@ class ThreadPool {
   /// and never less than 1.
   static std::size_t recommended_threads(std::size_t requested, std::size_t count);
 
+  /// True when the calling thread is a ThreadPool worker (of any pool).
+  /// Nested parallelism guard: the region executor declines to fan out its
+  /// team shards when it is already running inside an Explorer/Campaign
+  /// sweep worker, where the host cores are spoken for.
+  static bool on_worker_thread();
+
  private:
   void worker_loop(std::size_t worker_id);
 

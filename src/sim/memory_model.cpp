@@ -19,32 +19,6 @@ std::uint32_t CoalescingModel::transactions(std::span<const std::uint64_t> lane_
   return static_cast<std::uint32_t>(segments.size());
 }
 
-std::uint32_t CoalescingModel::unit_stride_transactions(std::uint64_t first_item,
-                                                        std::uint32_t elem_bytes,
-                                                        LaneMask active, int warp_size) const {
-  if (active == 0) return 0;
-  std::uint64_t lo_segment = ~0ull;
-  std::uint64_t hi_segment = 0;
-  bool any = false;
-  // Count only segments actually touched by an active lane: with sparse
-  // masks (small perforation) the warp still touches scattered segments.
-  std::vector<std::uint64_t> segments;
-  for (int lane = 0; lane < warp_size; ++lane) {
-    if (!lane_active(active, lane)) continue;
-    const std::uint64_t addr = (first_item + static_cast<std::uint64_t>(lane)) * elem_bytes;
-    const std::uint64_t first_seg = addr / segment_bytes_;
-    const std::uint64_t last_seg = (addr + elem_bytes - 1) / segment_bytes_;
-    for (std::uint64_t s = first_seg; s <= last_seg; ++s) segments.push_back(s);
-    lo_segment = std::min(lo_segment, first_seg);
-    hi_segment = std::max(hi_segment, last_seg);
-    any = true;
-  }
-  if (!any) return 0;
-  std::sort(segments.begin(), segments.end());
-  segments.erase(std::unique(segments.begin(), segments.end()), segments.end());
-  return static_cast<std::uint32_t>(segments.size());
-}
-
 std::uint32_t CoalescingModel::strided_transactions(std::uint32_t elem_bytes,
                                                     std::uint32_t elems_per_lane,
                                                     std::uint64_t stride_elems, LaneMask active,

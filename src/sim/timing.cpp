@@ -8,22 +8,43 @@ namespace hpac::sim {
 
 KernelTracker::KernelTracker(const DeviceConfig& dev, const LaunchConfig& launch,
                              std::size_t shared_bytes_per_block)
+    : KernelTracker(dev, launch, shared_bytes_per_block, 0, launch.num_teams) {}
+
+KernelTracker::KernelTracker(const DeviceConfig& dev, const LaunchConfig& launch,
+                             std::size_t shared_bytes_per_block, std::uint64_t team_begin,
+                             std::uint64_t team_end)
     : dev_(dev),
       launch_(launch),
       shared_bytes_per_block_(shared_bytes_per_block),
-      warps_per_team_(launch.warps_per_team(dev)) {
+      warps_per_team_(launch.warps_per_team(dev)),
+      team_begin_(team_begin),
+      team_end_(team_end) {
   launch.validate(dev);
   HPAC_REQUIRE(shared_bytes_per_block <= dev.shared_mem_per_block,
                "block shared memory exceeds device limit");
-  ledgers_.resize(launch.num_teams * warps_per_team_);
+  HPAC_REQUIRE(team_begin <= team_end && team_end <= launch.num_teams,
+               "tracker team range outside the launch grid");
+  ledgers_.resize((team_end - team_begin) * warps_per_team_);
 }
 
 WarpLedger& KernelTracker::warp(std::uint64_t team, std::uint32_t warp_in_team) {
-  return ledgers_[team * warps_per_team_ + warp_in_team];
+  return ledgers_[(team - team_begin_) * warps_per_team_ + warp_in_team];
 }
 
 const WarpLedger& KernelTracker::warp(std::uint64_t team, std::uint32_t warp_in_team) const {
-  return ledgers_[team * warps_per_team_ + warp_in_team];
+  return ledgers_[(team - team_begin_) * warps_per_team_ + warp_in_team];
+}
+
+void KernelTracker::merge(const KernelTracker& shard) {
+  HPAC_REQUIRE(shard.warps_per_team_ == warps_per_team_,
+               "merging trackers of different launch geometries");
+  HPAC_REQUIRE(team_begin_ <= shard.team_begin_ && shard.team_end_ <= team_end_,
+               "merging a shard outside this tracker's team range");
+  for (std::uint64_t team = shard.team_begin_; team < shard.team_end_; ++team) {
+    for (std::uint32_t w = 0; w < warps_per_team_; ++w) {
+      warp(team, w).merge(shard.warp(team, w));
+    }
+  }
 }
 
 int KernelTracker::resident_blocks_per_sm() const {
@@ -38,6 +59,8 @@ int KernelTracker::resident_blocks_per_sm() const {
 }
 
 KernelTiming KernelTracker::finalize() const {
+  HPAC_REQUIRE(team_begin_ == 0 && team_end_ == launch_.num_teams,
+               "finalize() requires a full-range tracker; merge shards first");
   KernelTiming timing;
   const int resident_blocks = resident_blocks_per_sm();
   timing.resident_blocks_per_sm = resident_blocks;
@@ -48,26 +71,28 @@ KernelTiming KernelTracker::finalize() const {
   double max_sm_cycles = 0;
   for (int sm = 0; sm < num_sms; ++sm) {
     // Blocks are distributed round-robin, the usual hardware rasterization
-    // approximation for uniform-cost blocks.
-    std::vector<std::uint64_t> blocks;
-    for (std::uint64_t b = static_cast<std::uint64_t>(sm); b < num_teams;
-         b += static_cast<std::uint64_t>(num_sms)) {
-      blocks.push_back(b);
-    }
-    if (blocks.empty()) continue;
+    // approximation for uniform-cost blocks: SM `sm` runs blocks
+    // sm, sm + num_sms, sm + 2*num_sms, ... — membership is arithmetic,
+    // so no per-SM block list needs materializing.
+    const auto sm_u = static_cast<std::uint64_t>(sm);
+    if (sm_u >= num_teams) continue;
+    const std::uint64_t sm_blocks =
+        (num_teams - sm_u + static_cast<std::uint64_t>(num_sms) - 1) /
+        static_cast<std::uint64_t>(num_sms);
 
     double sm_cycles = 0;
-    for (std::size_t start = 0; start < blocks.size();
-         start += static_cast<std::size_t>(resident_blocks)) {
-      const std::size_t end =
-          std::min(blocks.size(), start + static_cast<std::size_t>(resident_blocks));
+    for (std::uint64_t start = 0; start < sm_blocks;
+         start += static_cast<std::uint64_t>(resident_blocks)) {
+      const std::uint64_t end =
+          std::min(sm_blocks, start + static_cast<std::uint64_t>(resident_blocks));
       double wave_compute = 0;
       double wave_mem = 0;
       std::uint64_t wave_rounds_max = 0;
       std::uint32_t wave_warps = 0;
-      for (std::size_t i = start; i < end; ++i) {
+      for (std::uint64_t i = start; i < end; ++i) {
+        const std::uint64_t block = sm_u + i * static_cast<std::uint64_t>(num_sms);
         for (std::uint32_t w = 0; w < warps_per_team_; ++w) {
-          const WarpLedger& ledger = warp(blocks[i], w);
+          const WarpLedger& ledger = warp(block, w);
           wave_compute += ledger.compute_cycles();
           wave_mem += static_cast<double>(ledger.transactions()) * dev_.cycles_per_transaction;
           wave_rounds_max = std::max(wave_rounds_max, ledger.memory_rounds());

@@ -22,6 +22,18 @@ constexpr LaneMask with_lane(LaneMask mask, int lane) { return mask | (1ull << l
 /// Number of active lanes — the paper's `popcount` of a ballot result.
 inline int popcount(LaneMask mask) { return std::popcount(mask); }
 
+/// Invoke `fn(lane)` for every set lane in ascending order. The executor's
+/// hot loops and the apps' batched bindings iterate warps this way: cost is
+/// O(active lanes) with no per-inactive-lane branch.
+template <typename Fn>
+inline void for_each_lane(LaneMask mask, Fn&& fn) {
+  while (mask != 0) {
+    const int lane = std::countr_zero(mask);
+    mask &= mask - 1;
+    fn(lane);
+  }
+}
+
 /// The `ballot` warp intrinsic (paper §3.3): collects one predicate bit per
 /// lane into a mask. Only lanes in `active` contribute.
 LaneMask ballot(std::span<const bool> predicates, LaneMask active);
@@ -56,6 +68,16 @@ class WarpLedger {
   /// cost here; the block-level wait is handled by the timing model since
   /// all warps in a block advance together in the wave model.
   void charge_barrier(double cycles = 20.0);
+
+  /// Fold another ledger's charges into this one. Used by the team-sharded
+  /// executor: every warp is charged by exactly one shard, so merging the
+  /// shard ledgers reproduces the serial ledger values exactly.
+  void merge(const WarpLedger& other) {
+    compute_cycles_ += other.compute_cycles_;
+    transactions_ += other.transactions_;
+    memory_rounds_ += other.memory_rounds_;
+    divergent_regions_ += other.divergent_regions_;
+  }
 
   double compute_cycles() const { return compute_cycles_; }
   std::uint64_t transactions() const { return transactions_; }

@@ -13,6 +13,7 @@
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/function_ref.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
@@ -512,4 +513,73 @@ TEST(ThreadPool, RecommendedThreadsClamps) {
   EXPECT_EQ(ThreadPool::recommended_threads(2, 100), 2u);
   EXPECT_EQ(ThreadPool::recommended_threads(5, 0), 1u);
   EXPECT_GE(ThreadPool::recommended_threads(0, 100), 1u);
+}
+
+// --- FunctionRef ----------------------------------------------------------
+
+TEST(FunctionRef, BindsLambdasAndForwardsArguments) {
+  int calls = 0;
+  auto add = [&calls](int a, int b) {
+    ++calls;
+    return a + b;
+  };
+  FunctionRef<int(int, int)> ref = add;
+  EXPECT_EQ(ref(2, 3), 5);
+  EXPECT_EQ(ref(10, -4), 6);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(FunctionRef, DefaultConstructedIsEmpty) {
+  FunctionRef<void()> ref;
+  EXPECT_FALSE(static_cast<bool>(ref));
+}
+
+TEST(FunctionRef, ObservesMutationsOfTheReferencedCallable) {
+  // Non-owning: the ref sees the callable's *current* state, it holds no
+  // copy.
+  int factor = 2;
+  auto scale = [&factor](int v) { return v * factor; };
+  FunctionRef<int(int)> ref = scale;
+  EXPECT_EQ(ref(21), 42);
+  factor = 3;
+  EXPECT_EQ(ref(21), 63);
+}
+
+TEST(FunctionRef, BindsStdFunction) {
+  std::function<double(double)> doubler = [](double v) { return 2.0 * v; };
+  FunctionRef<double(double)> ref = doubler;
+  EXPECT_DOUBLE_EQ(ref(1.5), 3.0);
+  doubler = [](double v) { return 10.0 * v; };  // ref tracks the object
+  EXPECT_DOUBLE_EQ(ref(1.5), 15.0);
+}
+
+TEST(FunctionRef, RebindsByAssignment) {
+  auto one = [](int) { return 1; };
+  auto two = [](int) { return 2; };
+  FunctionRef<int(int)> ref = one;
+  EXPECT_EQ(ref(0), 1);
+  ref = two;
+  EXPECT_EQ(ref(0), 2);
+}
+
+TEST(ThreadPool, ReportsWorkerThreads) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  ThreadPool pool(2);
+  std::atomic<int> on_worker{0};
+  pool.parallel_for(8, [&](std::size_t, std::size_t) {
+    if (ThreadPool::on_worker_thread()) on_worker.fetch_add(1);
+  });
+  EXPECT_EQ(on_worker.load(), 8);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+TEST(ThreadPool, InlinePoolDoesNotClaimWorkerStatus) {
+  // A zero-size pool runs bodies on the caller; that thread is not a pool
+  // worker, so nested engines may still fan out.
+  ThreadPool pool(0);
+  bool saw_worker = false;
+  pool.parallel_for(3, [&](std::size_t, std::size_t) {
+    saw_worker = saw_worker || ThreadPool::on_worker_thread();
+  });
+  EXPECT_FALSE(saw_worker);
 }

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "approx/iact.hpp"
@@ -39,6 +41,33 @@ struct TestRegion {
     };
     b.accurate_cost = [cost](std::uint64_t) { return cost; };
     b.commit = [this](std::uint64_t i, std::span<const double> o) { out[i] = o[0]; };
+    b.independent_items = true;  // commits touch only out[i]
+    return b;
+  }
+
+  /// The same region through the batched fast-path API.
+  RegionBinding batched_binding(double cost = 100.0, int in_dims = 1) {
+    RegionBinding b = binding(cost, in_dims);
+    const int id = std::max(1, in_dims);
+    b.gather_batch = [id](std::uint64_t first, sim::LaneMask lanes, std::span<double> in) {
+      sim::for_each_lane(lanes, [&](int lane) {
+        in[static_cast<std::size_t>(lane) * id] =
+            static_cast<double>((first + static_cast<std::uint64_t>(lane)) % 7);
+      });
+    };
+    b.accurate_batch = [this](std::uint64_t first, sim::LaneMask lanes, std::span<const double>,
+                              std::span<double> o) {
+      sim::for_each_lane(lanes, [&](int lane) {
+        o[static_cast<std::size_t>(lane)] = f(first + static_cast<std::uint64_t>(lane));
+      });
+    };
+    b.accurate_cost_batch = [cost](std::uint64_t, sim::LaneMask) { return cost; };
+    b.commit_batch = [this](std::uint64_t first, sim::LaneMask lanes,
+                            std::span<const double> o) {
+      sim::for_each_lane(lanes, [&](int lane) {
+        out[first + static_cast<std::uint64_t>(lane)] = o[static_cast<std::size_t>(lane)];
+      });
+    };
     return b;
   }
 
@@ -403,4 +432,190 @@ TEST(Composed, SkippedItemsNeverTouchAcState) {
   std::size_t untouched = 0;
   for (double v : region.out) untouched += v == -1.0;
   EXPECT_GT(untouched, region.n / 2);
+}
+
+// --- the rebuilt engine's dispatch paths and team sharding ---------------
+
+namespace {
+
+/// Forced-sharding tuning: splits even the small test launches.
+ExecTuning forced_shards(std::size_t threads) {
+  ExecTuning tuning;
+  tuning.max_threads = threads;
+  tuning.min_teams = 1;
+  tuning.min_items = 0;
+  tuning.min_teams_per_shard = 1;
+  return tuning;
+}
+
+struct EngineRun {
+  std::vector<double> out;
+  RegionReport report;
+};
+
+EngineRun run_with_tuning(TestRegion& region, RegionBinding binding, const char* clause,
+                          const ExecTuning& tuning, std::uint64_t ipt = 16) {
+  RegionExecutor executor(sim::v100());
+  executor.set_tuning(tuning);
+  const sim::LaunchConfig launch = sim::launch_for_items_per_thread(region.n, ipt, 128);
+  EngineRun run;
+  run.report = executor.run(pragma::parse_approx(clause), binding, region.n, launch);
+  run.out = region.out;
+  return run;
+}
+
+void expect_identical(const EngineRun& a, const EngineRun& b, const char* what) {
+  EXPECT_EQ(a.out, b.out) << what;
+  EXPECT_EQ(a.report.stats.accurate_items, b.report.stats.accurate_items) << what;
+  EXPECT_EQ(a.report.stats.approx_items, b.report.stats.approx_items) << what;
+  EXPECT_EQ(a.report.stats.skipped_items, b.report.stats.skipped_items) << what;
+  EXPECT_EQ(a.report.stats.iact_hits, b.report.stats.iact_hits) << what;
+  EXPECT_EQ(a.report.stats.taf_stable_entries, b.report.stats.taf_stable_entries) << what;
+  // Bit-identical timing, not approximately-equal timing: the merge is
+  // deterministic and every charge is computed in the same order.
+  EXPECT_EQ(a.report.timing.seconds, b.report.timing.seconds) << what;
+  EXPECT_EQ(a.report.timing.critical_path_cycles, b.report.timing.critical_path_cycles)
+      << what;
+  EXPECT_EQ(a.report.timing.total_transactions, b.report.timing.total_transactions) << what;
+  EXPECT_EQ(a.report.timing.divergent_regions, b.report.timing.divergent_regions) << what;
+  EXPECT_EQ(a.report.timing.compute_cycles_total, b.report.timing.compute_cycles_total)
+      << what;
+}
+
+const char* kEngineClauses[] = {
+    "none",
+    "perfo(small:4)",
+    "perfo(small:2) herded(0)",
+    "memo(out:3:8:0.5)",
+    "memo(out:3:8:0.5) level(warp)",
+    "memo(in:4:0.5:2) in(x) out(y)",
+    "memo(in:4:0.5:2) level(team) in(x) out(y)",
+};
+
+}  // namespace
+
+TEST(EngineDispatch, BatchedBindingMatchesScalarAdapter) {
+  ExecTuning serial;
+  serial.max_threads = 1;
+  for (const char* clause : kEngineClauses) {
+    TestRegion region;
+    const EngineRun scalar = run_with_tuning(region, region.binding(), clause, serial);
+    const EngineRun batched = run_with_tuning(region, region.batched_binding(), clause, serial);
+    expect_identical(scalar, batched, clause);
+  }
+}
+
+TEST(EngineDispatch, ForceScalarRoutesBatchedBindingThroughAdapter) {
+  ExecTuning serial;
+  serial.max_threads = 1;
+  ExecTuning forced = serial;
+  forced.force_scalar = true;
+  TestRegion region;
+  const EngineRun batched =
+      run_with_tuning(region, region.batched_binding(), "memo(out:3:8:0.5)", serial);
+  const EngineRun adapter =
+      run_with_tuning(region, region.batched_binding(), "memo(out:3:8:0.5)", forced);
+  expect_identical(batched, adapter, "force_scalar");
+}
+
+TEST(EngineDispatch, BatchOnlyBindingRuns) {
+  // A binding that provides *only* the batched form is complete.
+  TestRegion region;
+  RegionBinding b = region.batched_binding();
+  b.gather = nullptr;
+  b.accurate = nullptr;
+  b.accurate_cost = nullptr;
+  b.commit = nullptr;
+  ExecTuning serial;
+  serial.max_threads = 1;
+  const EngineRun batch_only = run_with_tuning(region, b, "memo(in:4:0.5:2) in(x) out(y)", serial);
+  const EngineRun full = run_with_tuning(region, region.binding(), "memo(in:4:0.5:2) in(x) out(y)", serial);
+  expect_identical(batch_only, full, "batch-only");
+}
+
+TEST(RegionParallel, TeamShardingIsBitIdenticalToSerial) {
+  ExecTuning serial;
+  serial.max_threads = 1;
+  for (const char* clause : kEngineClauses) {
+    TestRegion region;
+    const EngineRun reference = run_with_tuning(region, region.binding(), clause, serial);
+    for (std::size_t threads : {2u, 3u, 4u}) {
+      TestRegion sharded_region;
+      const EngineRun sharded = run_with_tuning(sharded_region, sharded_region.binding(),
+                                                clause, forced_shards(threads));
+      expect_identical(reference, sharded, clause);
+    }
+  }
+}
+
+TEST(RegionParallel, ComposedShardingIsBitIdenticalToSerial) {
+  const auto run_composed = [](TestRegion& region, const ExecTuning& tuning) {
+    RegionExecutor executor(sim::v100());
+    executor.set_tuning(tuning);
+    const sim::LaunchConfig launch = sim::launch_for_items_per_thread(region.n, 16, 128);
+    EngineRun run;
+    run.report = executor.run_composed(pragma::parse_approx("perfo(small:4)"),
+                                       pragma::parse_approx("memo(out:2:8:0.5)"),
+                                       region.binding(), region.n, launch);
+    run.out = region.out;
+    return run;
+  };
+  ExecTuning serial;
+  serial.max_threads = 1;
+  TestRegion serial_region;
+  const EngineRun reference = run_composed(serial_region, serial);
+  TestRegion sharded_region;
+  const EngineRun sharded = run_composed(sharded_region, forced_shards(4));
+  expect_identical(reference, sharded, "composed");
+}
+
+TEST(RegionParallel, NonIndependentBindingStaysSerial) {
+  // A binding that accumulates across items must not be sharded; the
+  // executor falls back to serial execution and the reduction order is
+  // preserved exactly.
+  TestRegion region;
+  RegionBinding b = region.binding();
+  b.independent_items = false;
+  double sum = 0.0;
+  b.commit = [&sum](std::uint64_t, std::span<const double> o) { sum += o[0]; };
+  ExecTuning tuning = forced_shards(4);
+  RegionExecutor executor(sim::v100());
+  executor.set_tuning(tuning);
+  const sim::LaunchConfig launch = sim::launch_for_items_per_thread(region.n, 16, 128);
+  executor.run(pragma::parse_approx("none"), b, region.n, launch);
+  double expected = 0.0;
+  for (std::uint64_t i = 0; i < region.n; ++i) expected += region.f(i);
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(RegionParallel, ShardMergeStress) {
+  // TSan target: many concurrent launches racing for the shared shard
+  // pool. Outer threads force sharding; whoever loses the pool gate runs
+  // serially — results must be identical either way.
+  ExecTuning serial;
+  serial.max_threads = 1;
+  TestRegion golden_region;
+  const EngineRun reference =
+      run_with_tuning(golden_region, golden_region.binding(), "memo(out:3:8:0.5)", serial, 8);
+
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 3;
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRunsPerThread; ++r) {
+        TestRegion region;
+        const EngineRun run = run_with_tuning(region, region.binding(), "memo(out:3:8:0.5)",
+                                              forced_shards(4), 8);
+        if (run.out != reference.out ||
+            run.report.timing.seconds != reference.report.timing.seconds ||
+            run.report.stats.approx_items != reference.report.stats.approx_items) {
+          ++mismatches[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0);
 }
