@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/scheduler.hpp"
 #include "harness/explorer.hpp"
 #include "harness/params.hpp"
 #include "offload/device.hpp"
@@ -137,12 +138,7 @@ struct SweepResult {
   std::string csv_text;
 };
 
-SweepResult run_sweep(BindingForm form, const approx::ExecTuning& tuning) {
-  const approx::ExecTuning previous = approx::RegionExecutor::default_tuning();
-  approx::RegionExecutor::set_default_tuning(tuning);
-
-  EngineMicro bench(form);
-  harness::Explorer explorer(bench, sim::v100());
+std::vector<pragma::ApproxSpec> curated_specs() {
   std::vector<pragma::ApproxSpec> specs =
       harness::curated_taf_specs(harness::table2::hierarchies());
   for (const auto& spec :
@@ -150,12 +146,18 @@ SweepResult run_sweep(BindingForm form, const approx::ExecTuning& tuning) {
     specs.push_back(spec);
   }
   for (const auto& spec : harness::curated_perfo_specs()) specs.push_back(spec);
+  return specs;
+}
+
+/// One sweep under the process-wide default tuning already in effect.
+SweepResult sweep_once(BindingForm form) {
+  EngineMicro bench(form);
+  harness::Explorer explorer(bench, sim::v100());
+  const std::vector<pragma::ApproxSpec> specs = curated_specs();
 
   const auto start = std::chrono::steady_clock::now();
   explorer.sweep(specs, bench.memo_items_axis(), /*num_threads=*/1);
   const auto stop = std::chrono::steady_clock::now();
-
-  approx::RegionExecutor::set_default_tuning(previous);
 
   SweepResult result;
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
@@ -165,6 +167,47 @@ SweepResult run_sweep(BindingForm form, const approx::ExecTuning& tuning) {
   std::ostringstream os;
   explorer.db().to_csv().write(os);
   result.csv_text = os.str();
+  return result;
+}
+
+SweepResult run_sweep(BindingForm form, const approx::ExecTuning& tuning) {
+  const approx::ExecTuning previous = approx::RegionExecutor::default_tuning();
+  approx::RegionExecutor::set_default_tuning(tuning);
+  SweepResult result = sweep_once(form);
+  approx::RegionExecutor::set_default_tuning(previous);
+  return result;
+}
+
+/// The nested Campaign x independent_items scenario: an outer two-way
+/// (benchmark, device)-shard-style fan-out on the shared scheduler, each
+/// shard running a full serial Explorer sweep whose region launches carry
+/// `independent_items`. With `inner` pinned to one thread this reproduces
+/// the pre-scheduler status quo (the worker-thread gate forced nested
+/// launches serial); with the cooperative tuning the inner team shards
+/// become stealable tasks that idle outer workers pick up. Wall-clock is
+/// the whole outer join; both shards' CSVs must stay byte-identical to
+/// the serial sweep.
+SweepResult run_nested(const approx::ExecTuning& inner) {
+  const approx::ExecTuning previous = approx::RegionExecutor::default_tuning();
+  approx::RegionExecutor::set_default_tuning(inner);
+
+  std::vector<SweepResult> shards(2);
+  const auto start = std::chrono::steady_clock::now();
+  hpac::Scheduler::shared().parallel_for(
+      shards.size(), [&](std::size_t, std::size_t s) {
+        shards[s] = sweep_once(BindingForm::kBatched);
+      },
+      /*max_participants=*/shards.size());
+  const auto stop = std::chrono::steady_clock::now();
+
+  approx::RegionExecutor::set_default_tuning(previous);
+
+  SweepResult result;
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  result.invocations = shards[0].invocations + shards[1].invocations;
+  result.csv_text = shards[0].csv_text == shards[1].csv_text
+                        ? shards[0].csv_text
+                        : std::string("<outer shards disagree>");
   return result;
 }
 
@@ -186,15 +229,25 @@ int main(int argc, char** argv) {
   const SweepResult scalar = run_sweep(BindingForm::kScalar, serial);
   const SweepResult batched = run_sweep(BindingForm::kBatched, serial);
   const SweepResult parallel = run_sweep(BindingForm::kBatched, sharded);
+  // Nested Campaign x independent_items: serialized inner = the pre-
+  // scheduler status quo; cooperative inner = stealable team shards.
+  const SweepResult nested_serialized = run_nested(serial);
+  const SweepResult nested_cooperative = run_nested(sharded);
 
-  const bool identical =
-      scalar.csv_text == batched.csv_text && batched.csv_text == parallel.csv_text;
-  std::printf("scalar   %.3f s  (%.3g inv/s)\n", scalar.wall_seconds,
+  const bool identical = scalar.csv_text == batched.csv_text &&
+                         batched.csv_text == parallel.csv_text &&
+                         parallel.csv_text == nested_serialized.csv_text &&
+                         nested_serialized.csv_text == nested_cooperative.csv_text;
+  std::printf("scalar              %.3f s  (%.3g inv/s)\n", scalar.wall_seconds,
               scalar.invocations / scalar.wall_seconds);
-  std::printf("batched  %.3f s  (%.3g inv/s)\n", batched.wall_seconds,
+  std::printf("batched             %.3f s  (%.3g inv/s)\n", batched.wall_seconds,
               batched.invocations / batched.wall_seconds);
-  std::printf("sharded  %.3f s  (%.3g inv/s)\n", parallel.wall_seconds,
+  std::printf("sharded             %.3f s  (%.3g inv/s)\n", parallel.wall_seconds,
               parallel.invocations / parallel.wall_seconds);
+  std::printf("nested serialized   %.3f s  (%.3g inv/s)\n", nested_serialized.wall_seconds,
+              nested_serialized.invocations / nested_serialized.wall_seconds);
+  std::printf("nested cooperative  %.3f s  (%.3g inv/s)\n", nested_cooperative.wall_seconds,
+              nested_cooperative.invocations / nested_cooperative.wall_seconds);
   std::printf("paths byte-identical: %s\n", identical ? "yes" : "NO — ENGINE BUG");
 
   std::error_code ec;
@@ -208,12 +261,19 @@ int main(int argc, char** argv) {
                  "  \"scalar\": {\"wall_seconds\": %.6f, \"items_per_sec\": %.6g},\n"
                  "  \"batched\": {\"wall_seconds\": %.6f, \"items_per_sec\": %.6g},\n"
                  "  \"sharded\": {\"wall_seconds\": %.6f, \"items_per_sec\": %.6g},\n"
+                 "  \"nested_serialized\": {\"wall_seconds\": %.6f, \"items_per_sec\": %.6g},\n"
+                 "  \"nested_cooperative\": {\"wall_seconds\": %.6f, \"items_per_sec\": %.6g},\n"
                  "  \"paths_byte_identical\": %s\n"
                  "}\n",
                  static_cast<unsigned long long>(EngineMicro::kItems), scalar.wall_seconds,
                  scalar.invocations / scalar.wall_seconds, batched.wall_seconds,
                  batched.invocations / batched.wall_seconds, parallel.wall_seconds,
-                 parallel.invocations / parallel.wall_seconds, identical ? "true" : "false");
+                 parallel.invocations / parallel.wall_seconds,
+                 nested_serialized.wall_seconds,
+                 nested_serialized.invocations / nested_serialized.wall_seconds,
+                 nested_cooperative.wall_seconds,
+                 nested_cooperative.invocations / nested_cooperative.wall_seconds,
+                 identical ? "true" : "false");
     std::fclose(f);
     std::printf("[wrote %s]\n", path.c_str());
   } else {

@@ -12,8 +12,8 @@
 #include "approx/taf.hpp"
 #include "common/error.hpp"
 #include "common/function_ref.hpp"
+#include "common/scheduler.hpp"
 #include "common/strings.hpp"
-#include "common/thread_pool.hpp"
 #include "sim/memory_model.hpp"
 #include "sim/shared_memory.hpp"
 
@@ -38,20 +38,10 @@ ExecTuning& default_tuning_storage() {
   return tuning;
 }
 
-/// One process-wide pool for team-sharded launches. Sized for the host
-/// (at least two workers so forced sharding is exercisable on one-core
-/// machines); a launch borrows the whole pool, so concurrent launches are
-/// serialized by `exec_pool_gate()` — the loser simply runs serially,
-/// which is the right behavior when the cores are already busy.
-ThreadPool& exec_pool() {
-  static ThreadPool pool(std::max<std::size_t>(2, std::thread::hardware_concurrency()));
-  return pool;
-}
-
-std::mutex& exec_pool_gate() {
-  static std::mutex m;
-  return m;
-}
+// Team shards run on Scheduler::shared(): the same work-stealing workers
+// that drive Explorer sweeps and Campaign shards, so a nested launch's
+// shards can be stolen by whichever worker goes idle first instead of
+// being gated behind a dedicated pool.
 
 // --- scalar-form adapters ---------------------------------------------------
 
@@ -783,9 +773,11 @@ RegionReport RegionExecutor::run_impl(const pragma::ApproxSpec& spec,
   // Decide the team-shard count. Sharding never changes results (each team
   // is executed exactly as the serial engine would, and merges are
   // deterministic), so this is purely a wall-clock decision: the binding
-  // must declare independent items, the launch must be big enough to
-  // amortize the fan-out, and the caller must not itself be a sweep worker
-  // that already owns the host cores.
+  // must declare independent items and the launch must be big enough to
+  // amortize the fan-out. A launch reached from inside an Explorer or
+  // Campaign worker shards too — its shards become stealable tasks on the
+  // shared scheduler, picked up by whichever workers are idle, and the
+  // submitting thread executes the remainder itself.
   std::size_t threads =
       tuning_.max_threads != 0 ? tuning_.max_threads : std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
@@ -793,21 +785,17 @@ RegionReport RegionExecutor::run_impl(const pragma::ApproxSpec& spec,
       teams / std::max<std::uint64_t>(1, tuning_.min_teams_per_shard);
   std::size_t shards = static_cast<std::size_t>(
       std::min<std::uint64_t>(static_cast<std::uint64_t>(threads), shard_cap));
-  if (!binding.independent_items || teams < tuning_.min_teams || n < tuning_.min_items ||
-      ThreadPool::on_worker_thread()) {
+  if (!binding.independent_items || teams < tuning_.min_teams || n < tuning_.min_items) {
     shards = 1;
-  }
-
-  std::unique_lock<std::mutex> pool_gate(exec_pool_gate(), std::defer_lock);
-  if (shards > 1 && !pool_gate.try_lock()) {
-    shards = 1;  // another launch is already fanned out on the shared pool
   }
 
   if (shards <= 1) {
     RunContext ctx(dev_, replacement_, costs_, spec, binding, n, launch, ac_bytes,
                    composed_perfo, 0, teams, tuning_.force_scalar);
     ctx.execute_body();
-    return ctx.finalize_report();
+    RegionReport report = ctx.finalize_report();
+    report.stats.host_shards = 1;
+    return report;
   }
 
   // Contiguous, near-equal team ranges; shard s gets one extra team while
@@ -824,9 +812,15 @@ RegionReport RegionExecutor::run_impl(const pragma::ApproxSpec& spec,
         begin + length, tuning_.force_scalar));
     begin += length;
   }
-  exec_pool().parallel_for(shard_ctxs.size(),
-                           [&](std::size_t, std::size_t s) { shard_ctxs[s]->execute_body(); });
+  Scheduler::shared().parallel_for(
+      shard_ctxs.size(),
+      [&](std::size_t, std::size_t s) { shard_ctxs[s]->execute_body(); },
+      /*max_participants=*/shards);
 
+  // Shard merge order is the shard index order — fixed above when the
+  // contiguous team ranges were cut — so the folded ledgers, counters and
+  // therefore every downstream CSV byte are independent of which thread
+  // executed which shard.
   sim::KernelTracker total(dev_, launch, ac_bytes);
   ExecStats stats;
   stats.shared_bytes_per_block = ac_bytes;
@@ -834,6 +828,7 @@ RegionReport RegionExecutor::run_impl(const pragma::ApproxSpec& spec,
     total.merge(ctx->tracker());
     merge_stats(stats, ctx->stats());
   }
+  stats.host_shards = shards;
   RegionReport report;
   report.timing = total.finalize();
   report.stats = stats;

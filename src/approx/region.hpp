@@ -125,6 +125,11 @@ struct ExecStats {
   std::uint64_t iact_hits = 0;        ///< probes whose distance beat the threshold
   std::uint64_t taf_stable_entries = 0;  ///< times a thread entered the stable regime
   std::size_t shared_bytes_per_block = 0;
+  /// Host-side team shards the launch was split into (1 = serial). Purely
+  /// diagnostic — results are bit-identical for every value — but it makes
+  /// the fan-out decision observable, e.g. to assert that a launch nested
+  /// inside a sweep worker is no longer forced serial.
+  std::size_t host_shards = 1;
 
   /// Fraction of covered items answered approximately (memo) or skipped
   /// (perforation) — the color scale of Figure 8c.
@@ -192,9 +197,11 @@ struct ExecTuning {
 /// accounting.
 ///
 /// Large launches whose binding declares `independent_items` are split
-/// into contiguous team ranges executed concurrently on a shared host
-/// thread pool — unless the caller is itself a ThreadPool worker (an
-/// Explorer/Campaign fan-out already owns the cores). Results are
+/// into contiguous team ranges submitted to the process-wide work-stealing
+/// scheduler (`hpac::Scheduler`). The submitting thread executes shards
+/// itself while idle scheduler workers — including Explorer/Campaign
+/// workers whose own sweep shard finished early — steal the rest, so
+/// nested parallelism cooperates instead of serializing. Results are
 /// bit-identical to serial execution either way.
 class RegionExecutor {
  public:

@@ -1,0 +1,217 @@
+#include "common/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+
+namespace hpac {
+
+namespace {
+
+constexpr std::size_t kNotAWorker = std::numeric_limits<std::size_t>::max();
+
+/// Home deque index of the current thread within its owning scheduler,
+/// paired with that scheduler's identity: a worker of scheduler A that
+/// submits to scheduler B must use B's inbox, not deques_[its A-index]
+/// (which may not even exist in B). External threads keep kNotAWorker and
+/// always submit through the inbox deque.
+thread_local std::size_t t_worker_index = kNotAWorker;
+thread_local const void* t_worker_owner = nullptr;
+
+/// Depth of parallel_for bodies on this thread's stack (any scheduler,
+/// inline path included).
+thread_local int t_task_depth = 0;
+
+}  // namespace
+
+/// One fan-out job. Tickets in the deques are join offers, not work items:
+/// a thread that redeems a ticket becomes a *participant* and loops
+/// claiming indices from `next` until none remain, exactly like the
+/// submitting thread does. At most `limit` participants exist because only
+/// limit-1 tickets are published and the caller takes the remaining slot.
+/// The Job outlives `parallel_for` via shared_ptr (stale tickets may be
+/// popped long after the join completes); `body` is a borrowed pointer to
+/// the caller's stack, but it is only ever invoked for a successfully
+/// claimed index, and no index is claimable once the join has returned.
+struct Scheduler::Job {
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::size_t count = 0;
+  std::size_t limit = 1;
+  std::atomic<std::size_t> next{0};   ///< next unclaimed index
+  std::atomic<std::size_t> slots{0};  ///< participant slot allocator
+  std::atomic<bool> cancelled{false};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t active = 0;     ///< participants inside the claim loop (guarded by mutex)
+  std::exception_ptr error;   ///< first failure (guarded by mutex)
+};
+
+Scheduler::Scheduler(std::size_t num_workers)
+    : deques_(num_workers + 1) {  // + the external-submitter inbox
+  workers_.reserve(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+bool Scheduler::in_task() { return t_task_depth > 0; }
+
+Scheduler& Scheduler::shared() {
+  static Scheduler scheduler(
+      std::max<std::size_t>(2, std::thread::hardware_concurrency()));
+  return scheduler;
+}
+
+std::size_t Scheduler::recommended_threads(std::size_t requested, std::size_t count) {
+  std::size_t threads = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  return std::min(threads, std::max<std::size_t>(count, 1));
+}
+
+void Scheduler::participate(Job& job) {
+  // Stale-ticket fast path: a ticket redeemed after its job finished (or
+  // failed) must cost one atomic load, not a slot.
+  if (job.cancelled.load(std::memory_order_acquire) ||
+      job.next.load(std::memory_order_acquire) >= job.count) {
+    return;
+  }
+  const std::size_t slot = job.slots.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= job.limit) return;  // limit-1 tickets + the caller: cannot trip
+  {
+    std::lock_guard<std::mutex> lock(job.mutex);
+    ++job.active;
+  }
+  for (;;) {
+    if (job.cancelled.load(std::memory_order_acquire)) break;
+    const std::size_t index = job.next.fetch_add(1, std::memory_order_acq_rel);
+    if (index >= job.count) break;
+    ++t_task_depth;
+    try {
+      (*job.body)(slot, index);
+      --t_task_depth;
+    } catch (...) {
+      --t_task_depth;
+      std::lock_guard<std::mutex> lock(job.mutex);
+      if (!job.error) job.error = std::current_exception();
+      job.cancelled.store(true, std::memory_order_release);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(job.mutex);
+    --job.active;
+  }
+  job.done_cv.notify_all();
+}
+
+void Scheduler::push_tickets(const std::shared_ptr<Job>& job, std::size_t n) {
+  if (n == 0) return;
+  const std::size_t home =
+      t_worker_owner == this && t_worker_index != kNotAWorker ? t_worker_index
+                                                              : deques_.size() - 1;
+  {
+    std::lock_guard<std::mutex> lock(deques_[home].mutex);
+    for (std::size_t i = 0; i < n; ++i) deques_[home].tickets.push_back(job);
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    unpopped_tickets_ += n;
+  }
+  wake_cv_.notify_all();
+}
+
+std::shared_ptr<Scheduler::Job> Scheduler::next_ticket(std::size_t home) {
+  std::shared_ptr<Job> job;
+  const std::size_t n = deques_.size();
+  {
+    // Own deque, newest first: nested jobs spawned here finish before the
+    // deque's older backlog grows a dependent.
+    TaskDeque& own = deques_[home];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tickets.empty()) {
+      job = std::move(own.tickets.back());
+      own.tickets.pop_back();
+    }
+  }
+  for (std::size_t k = 1; !job && k < n; ++k) {
+    // Victims round-robin from our right-hand neighbor; steal the oldest
+    // ticket so long-waiting fan-outs are helped first.
+    TaskDeque& victim = deques_[(home + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tickets.empty()) {
+      job = std::move(victim.tickets.front());
+      victim.tickets.pop_front();
+    }
+  }
+  if (job) {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    --unpopped_tickets_;
+  }
+  return job;
+}
+
+void Scheduler::worker_loop(std::size_t worker_index) {
+  t_worker_index = worker_index;
+  t_worker_owner = this;
+  for (;;) {
+    if (std::shared_ptr<Job> job = next_ticket(worker_index)) {
+      participate(*job);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    wake_cv_.wait(lock, [&] { return stop_ || unpopped_tickets_ > 0; });
+    if (stop_) return;
+  }
+}
+
+void Scheduler::parallel_for(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t max_participants) {
+  if (count == 0) return;
+  std::size_t limit = max_participants != 0 ? max_participants : parallelism();
+  limit = std::min({limit, count, parallelism()});
+  if (limit <= 1 || workers_.empty()) {
+    // Serial path: run inline, exceptions propagate directly and abandon
+    // the remaining indices — the same contract the parallel path keeps.
+    ++t_task_depth;
+    try {
+      for (std::size_t index = 0; index < count; ++index) body(0, index);
+    } catch (...) {
+      --t_task_depth;
+      throw;
+    }
+    --t_task_depth;
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->count = count;
+  job->limit = limit;
+
+  push_tickets(job, limit - 1);
+  participate(*job);  // the caller claims indices too — it never idles
+
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->done_cv.wait(lock, [&] {
+    return job->active == 0 &&
+           (job->cancelled.load(std::memory_order_acquire) ||
+            job->next.load(std::memory_order_acquire) >= job->count);
+  });
+  if (job->error) {
+    std::exception_ptr error = job->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace hpac

@@ -1,9 +1,11 @@
 #include "common/strings.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <system_error>
 
 namespace hpac::strings {
 
@@ -33,13 +35,28 @@ std::string to_lower(std::string_view s) {
   return out;
 }
 
+namespace {
+
+/// `std::from_chars` rejects an explicit leading '+' that the strto*
+/// family accepted; strip it while keeping "+-5"-style double signs
+/// invalid.
+bool strip_plus_sign(std::string_view& s) {
+  if (s.empty() || s.front() != '+') return true;
+  s.remove_prefix(1);
+  return !s.empty() && s.front() != '+' && s.front() != '-';
+}
+
+}  // namespace
+
 bool parse_int(std::string_view s, long long& out) {
+  // from_chars is locale-independent and reports overflow as
+  // errc::result_out_of_range, where strtoll silently clamped to
+  // LLONG_MAX/MIN (its ERANGE went unchecked here for years).
   s = trim(s);
-  if (s.empty()) return false;
-  std::string buf(s);
-  char* end = nullptr;
-  const long long value = std::strtoll(buf.c_str(), &end, 10);
-  if (end != buf.c_str() + buf.size()) return false;
+  if (!strip_plus_sign(s) || s.empty()) return false;
+  long long value = 0;
+  const auto result = std::from_chars(s.data(), s.data() + s.size(), value, 10);
+  if (result.ec != std::errc() || result.ptr != s.data() + s.size()) return false;
   out = value;
   return true;
 }
@@ -47,14 +64,30 @@ bool parse_int(std::string_view s, long long& out) {
 bool parse_double(std::string_view s, double& out) {
   s = trim(s);
   if (s.empty()) return false;
-  std::string buf(s);
   // The clause grammar allows a trailing float suffix as in C: 0.5f.
-  if (buf.size() > 1 && (buf.back() == 'f' || buf.back() == 'F')) buf.pop_back();
+  if (s.size() > 1 && (s.back() == 'f' || s.back() == 'F')) s.remove_suffix(1);
+  if (!strip_plus_sign(s) || s.empty()) return false;
+#if defined(__cpp_lib_to_chars)
+  // Locale-independent, matching the std::to_chars writer side: CsvTable
+  // persists doubles via to_chars, so a checkpoint written under any
+  // LC_NUMERIC re-parses exactly — strtod under a comma-decimal locale
+  // (de_DE et al.) stopped at the '.' and rejected the file's own rows.
+  // Out-of-range literals (1e999) are rejected rather than clamped to inf.
+  double value = 0;
+  const auto result = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (result.ec != std::errc() || result.ptr != s.data() + s.size()) return false;
+  out = value;
+  return true;
+#else
+  // Toolchain without floating-point from_chars: legacy strtod fallback
+  // (locale-sensitive; the CSV locale round-trip tests will flag it).
+  std::string buf(s);
   char* end = nullptr;
   const double value = std::strtod(buf.c_str(), &end);
   if (end != buf.c_str() + buf.size()) return false;
   out = value;
   return true;
+#endif
 }
 
 std::string format(const char* fmt, ...) {

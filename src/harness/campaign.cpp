@@ -9,8 +9,8 @@
 
 #include "apps/registry.hpp"
 #include "common/error.hpp"
+#include "common/scheduler.hpp"
 #include "common/strings.hpp"
-#include "common/thread_pool.hpp"
 #include "harness/explorer.hpp"
 #include "harness/params.hpp"
 
@@ -150,7 +150,14 @@ CampaignResult Campaign::run() {
     }
   }
 
+  // Two locks with disjoint jobs: `mutex` guards the shared record state
+  // and the journal, `callback_mutex` serializes on_record invocations.
+  // The callback runs with the record lock *released* — its journal row is
+  // already flushed — so a blocked callback stalls only other callbacks,
+  // never the journaling by concurrent workers. (Holding `mutex` across
+  // the callback used to deadlock exactly that pattern.)
   std::mutex mutex;
+  std::mutex callback_mutex;
   auto run_shard = [&](std::size_t shard_index) {
     const Shard& shard = shards_[shard_index];
     auto app = apps::make_benchmark(shard.benchmark);
@@ -161,25 +168,31 @@ CampaignResult Campaign::run() {
       if (done[index]) continue;
       const RunRecord record = explorer.run_config((*shard.specs)[t / ipt_count],
                                                    plan_.items_per_thread[t % ipt_count]);
-      std::lock_guard<std::mutex> lock(mutex);
-      records[index] = record;
-      done[index] = 1;
-      if (persist) {
-        write_csv_row(journal, record.to_row());
-        journal.flush();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        records[index] = record;
+        done[index] = 1;
+        if (persist) {
+          write_csv_row(journal, record.to_row());
+          journal.flush();
+        }
+        ++result.evaluated;
       }
-      ++result.evaluated;
-      if (plan_.on_record) plan_.on_record(record);
+      if (plan_.on_record) {
+        std::lock_guard<std::mutex> lock(callback_mutex);
+        plan_.on_record(record);
+      }
     }
   };
 
-  const std::size_t workers = ThreadPool::recommended_threads(plan_.num_threads, pending.size());
+  const std::size_t workers =
+      Scheduler::recommended_threads(plan_.num_threads, pending.size());
   if (workers <= 1) {
     for (const std::size_t shard_index : pending) run_shard(shard_index);
   } else {
-    ThreadPool pool(workers);
-    pool.parallel_for(pending.size(),
-                      [&](std::size_t, std::size_t i) { run_shard(pending[i]); });
+    Scheduler::shared().parallel_for(
+        pending.size(), [&](std::size_t, std::size_t i) { run_shard(pending[i]); },
+        /*max_participants=*/workers);
   }
 
   // --- canonical assembly and atomic final rewrite ---

@@ -38,10 +38,16 @@ struct CampaignPlan {
   /// not re-evaluated. Empty = in-memory only.
   std::string output_path;
   /// Progress observer, invoked once per newly evaluated record. Called
-  /// from worker threads under the campaign's internal lock, so it needs
-  /// no synchronization of its own but must stay cheap. Exceptions it
-  /// throws abort the campaign (after the journal row for the record that
-  /// triggered it was already persisted).
+  /// from worker threads under a dedicated callback mutex: invocations are
+  /// serialized with each other (no synchronization needed inside), but
+  /// *not* with the campaign's record/journal lock — the record's journal
+  /// row is flushed before the callback runs, and a blocked callback can
+  /// never stall journaling or evaluation by the other workers. (It can
+  /// still stall *itself*: whether other workers exist to make the
+  /// progress it waits for depends on scheduler load, so do not block on
+  /// cross-worker progress unconditionally.) Exceptions it throws abort
+  /// the campaign; because the row was already persisted, a resume will
+  /// not re-evaluate the triggering record.
   std::function<void(const RunRecord&)> on_record;
 };
 
@@ -63,11 +69,13 @@ struct CampaignResult {
 /// Work is sharded at (benchmark, device) granularity: each shard gets a
 /// freshly constructed benchmark and its own Explorer, so the accurate
 /// baseline is computed once per pair (and never for pairs whose tuples
-/// are all restored from the checkpoint). Shards run concurrently on a
-/// ThreadPool; every tuple is deterministic, so the assembled database —
-/// and the final CSV — is identical regardless of worker count, and a
-/// resumed campaign ends with a CSV byte-identical to an uninterrupted
-/// one.
+/// are all restored from the checkpoint). Shards run concurrently on the
+/// process-wide work-stealing scheduler (`hpac::Scheduler`) — a worker
+/// whose shard finishes early steals team shards that nested
+/// `independent_items` region launches publish, instead of idling. Every
+/// tuple is deterministic, so the assembled database — and the final CSV —
+/// is identical regardless of worker count, and a resumed campaign ends
+/// with a CSV byte-identical to an uninterrupted one.
 class Campaign {
  public:
   /// Validates the plan eagerly (unknown benchmark or device names,

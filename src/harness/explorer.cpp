@@ -1,10 +1,11 @@
 #include "harness/explorer.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "common/error.hpp"
-#include "common/thread_pool.hpp"
+#include "common/scheduler.hpp"
 
 namespace hpac::harness {
 
@@ -80,7 +81,10 @@ std::size_t Explorer::sweep(const std::vector<pragma::ApproxSpec>& specs,
   // workers below only ever read baseline state.
   baseline();
 
-  const std::size_t workers = ThreadPool::recommended_threads(num_threads, total);
+  // Clamp to what can actually participate — more forks than the
+  // scheduler has threads would be constructed and never used.
+  const std::size_t workers = std::min(Scheduler::recommended_threads(num_threads, total),
+                                       Scheduler::shared().parallelism());
   std::vector<std::unique_ptr<Benchmark>> forks;
   if (workers > 1) {
     forks.reserve(workers);
@@ -103,10 +107,15 @@ std::size_t Explorer::sweep(const std::vector<pragma::ApproxSpec>& specs,
   if (forks.empty()) {
     for (std::size_t index = 0; index < total; ++index) eval_at(benchmark_, index);
   } else {
-    ThreadPool pool(forks.size());
-    pool.parallel_for(total, [&](std::size_t worker, std::size_t index) {
-      eval_at(*forks[worker], index);
-    });
+    // One fork per participant slot; the calling thread claims indices
+    // alongside the stealing workers, so `workers` is an upper bound on
+    // concurrency, not a thread spawn count. Records land at their index,
+    // which keeps the database order — and the CSV bytes — identical to a
+    // serial sweep.
+    Scheduler::shared().parallel_for(
+        total,
+        [&](std::size_t slot, std::size_t index) { eval_at(*forks[slot], index); },
+        /*max_participants=*/forks.size());
   }
 
   std::size_t feasible = 0;

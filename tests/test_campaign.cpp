@@ -6,12 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "common/error.hpp"
 #include "harness/campaign.hpp"
@@ -186,6 +190,89 @@ TEST(Campaign, KillAndResumeParity) {
   EXPECT_EQ(resumed.restored, partial.size());
   EXPECT_EQ(resumed.evaluated, resumed.planned - partial.size());
   EXPECT_EQ(resumed.stale, 0u);
+  EXPECT_EQ(slurp(resume_plan.output_path), reference_bytes);
+
+  std::remove(reference_plan.output_path.c_str());
+  std::remove(resume_plan.output_path.c_str());
+}
+
+TEST(Campaign, OnRecordRunsOutsideTheRecordLock) {
+  // Regression: on_record used to be invoked while holding the campaign's
+  // internal record/journal lock, so a callback that blocked until some
+  // *other* worker made progress deadlocked the whole campaign (the other
+  // worker needed that same lock to journal). The first callback below
+  // refuses to return until a second data row reaches the checkpoint —
+  // only possible if journaling proceeds while the callback is blocked.
+  CampaignPlan plan = multi_shard_plan();  // 4 shards: two run concurrently
+  plan.num_threads = 2;
+  plan.output_path = temp_csv("unlocked_callback");
+
+  const auto data_rows = [&] {
+    const std::string bytes = slurp(plan.output_path);
+    const auto newlines = std::count(bytes.begin(), bytes.end(), '\n');
+    return newlines > 0 ? newlines - 1 : 0;  // minus the header line
+  };
+  std::atomic<bool> first{true};
+  std::atomic<bool> observed_progress{false};
+  plan.on_record = [&](const RunRecord&) {
+    if (!first.exchange(false)) return;
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (data_rows() < 2) {
+      if (std::chrono::steady_clock::now() > deadline) return;  // deadlocked: fail below
+      std::this_thread::yield();
+    }
+    observed_progress = true;
+  };
+  const CampaignResult result = Campaign(plan).run();
+  EXPECT_TRUE(observed_progress.load())
+      << "journaling stalled while on_record was blocked";
+  EXPECT_EQ(result.evaluated, result.planned);
+  std::remove(plan.output_path.c_str());
+}
+
+TEST(Campaign, ResumeAfterCallbackThrowSkipsThePersistedRecord) {
+  // The journal row is flushed before on_record fires, so a throwing
+  // callback aborts the campaign but never loses its triggering record:
+  // the resume restores it instead of re-evaluating it, and the final CSV
+  // is byte-identical to an uninterrupted run.
+  CampaignPlan reference_plan = multi_shard_plan();
+  reference_plan.output_path = temp_csv("cbthrow_reference");
+  Campaign(reference_plan).run();
+  const std::string reference_bytes = slurp(reference_plan.output_path);
+
+  CampaignPlan killed_plan = multi_shard_plan();
+  killed_plan.output_path = temp_csv("cbthrow_killed");
+  std::mutex key_mutex;
+  std::string first_key;
+  killed_plan.on_record = [&](const RunRecord& r) {
+    {
+      std::lock_guard<std::mutex> lock(key_mutex);
+      if (first_key.empty()) {
+        first_key = Campaign::tuple_key(r.benchmark, r.device, r.spec_text,
+                                        r.items_per_thread);
+      }
+    }
+    throw std::runtime_error("observer failure");
+  };
+  EXPECT_THROW(Campaign(killed_plan).run(), std::runtime_error);
+
+  // The record whose callback threw is in the checkpoint.
+  const ResultDb partial = ResultDb::load(killed_plan.output_path);
+  ASSERT_GE(partial.size(), 1u);
+  bool triggering_record_persisted = false;
+  for (const auto& r : partial.records()) {
+    if (Campaign::tuple_key(r.benchmark, r.device, r.spec_text, r.items_per_thread) ==
+        first_key) {
+      triggering_record_persisted = true;
+    }
+  }
+  EXPECT_TRUE(triggering_record_persisted);
+
+  CampaignPlan resume_plan = multi_shard_plan();
+  resume_plan.output_path = killed_plan.output_path;
+  const CampaignResult resumed = Campaign(resume_plan).run();
+  EXPECT_EQ(resumed.restored, partial.size());
+  EXPECT_EQ(resumed.evaluated, resumed.planned - partial.size());
   EXPECT_EQ(slurp(resume_plan.output_path), reference_bytes);
 
   std::remove(reference_plan.output_path.c_str());

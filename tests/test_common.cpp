@@ -4,8 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <clocale>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include <numeric>
 #include <stdexcept>
@@ -18,7 +23,6 @@
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "common/thread_pool.hpp"
 
 using namespace hpac;
 
@@ -389,132 +393,6 @@ TEST(TextTable, RejectsWrongWidth) {
   EXPECT_THROW(t.add_row({"1", "2"}), Error);
 }
 
-TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
-  ThreadPool pool(4);
-  EXPECT_EQ(pool.size(), 4u);
-  std::vector<int> hits(257, 0);
-  // Distinct indices write distinct slots, so no synchronization needed.
-  pool.parallel_for(hits.size(), [&](std::size_t, std::size_t i) { hits[i] += 1; });
-  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
-            static_cast<int>(hits.size()));
-}
-
-TEST(ThreadPool, IsReusableAcrossJobs) {
-  ThreadPool pool(2);
-  int total = 0;
-  for (int job = 0; job < 5; ++job) {
-    std::vector<int> hits(64, 0);
-    pool.parallel_for(hits.size(), [&](std::size_t, std::size_t i) { hits[i] = 1; });
-    total += std::accumulate(hits.begin(), hits.end(), 0);
-  }
-  EXPECT_EQ(total, 5 * 64);
-}
-
-TEST(ThreadPool, WorkerIdsAreStableAndInRange) {
-  ThreadPool pool(3);
-  std::vector<int> seen(64, -1);
-  pool.parallel_for(seen.size(), [&](std::size_t worker, std::size_t i) {
-    seen[i] = static_cast<int>(worker);
-  });
-  for (int worker : seen) {
-    EXPECT_GE(worker, 0);
-    EXPECT_LT(worker, 3);
-  }
-}
-
-TEST(ThreadPool, ZeroWorkersRunsInline) {
-  ThreadPool pool(0);
-  EXPECT_EQ(pool.size(), 0u);
-  std::vector<int> hits(8, 0);
-  pool.parallel_for(hits.size(), [&](std::size_t worker, std::size_t i) {
-    EXPECT_EQ(worker, 0u);
-    hits[i] = 1;
-  });
-  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 8);
-}
-
-TEST(ThreadPool, PropagatesFirstException) {
-  ThreadPool pool(2);
-  EXPECT_THROW(pool.parallel_for(16,
-                                 [](std::size_t, std::size_t i) {
-                                   if (i == 3) throw std::runtime_error("boom");
-                                 }),
-               std::runtime_error);
-  // The pool stays usable after a failed job.
-  std::vector<int> hits(4, 0);
-  pool.parallel_for(hits.size(), [&](std::size_t, std::size_t i) { hits[i] = 1; });
-  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 4);
-}
-
-TEST(ThreadPool, StressRepeatedThrowingJobsDoNotDeadlock) {
-  // A task throwing mid-sweep must leave the pool consistent: the caller
-  // sees the exception (nothing is dropped silently) and the next job runs
-  // normally. Loop enough times to shake out lost-wakeup interleavings.
-  ThreadPool pool(8);
-  for (int iteration = 0; iteration < 50; ++iteration) {
-    std::atomic<int> executed{0};
-    try {
-      pool.parallel_for(256, [&](std::size_t, std::size_t i) {
-        if (i % 7 == 0) throw std::runtime_error("boom");
-        executed.fetch_add(1, std::memory_order_relaxed);
-      });
-      FAIL() << "parallel_for must rethrow";
-    } catch (const std::runtime_error&) {
-    }
-    // Unstarted indices were abandoned, and the caller was told via the
-    // exception; the abandoned count is visible as executed < total.
-    EXPECT_LT(executed.load(), 256);
-    std::atomic<int> clean{0};
-    pool.parallel_for(64, [&](std::size_t, std::size_t) {
-      clean.fetch_add(1, std::memory_order_relaxed);
-    });
-    EXPECT_EQ(clean.load(), 64);
-  }
-}
-
-TEST(ThreadPool, StressConcurrentThrowsKeepFirstException) {
-  ThreadPool pool(8);
-  for (int iteration = 0; iteration < 25; ++iteration) {
-    EXPECT_THROW(pool.parallel_for(128,
-                                   [&](std::size_t, std::size_t) {
-                                     throw Error("every task throws");
-                                   }),
-                 Error);
-  }
-}
-
-TEST(ThreadPool, ShutdownUnderLoadDoesNotHang) {
-  // Construct, run a job whose tasks are still draining as parallel_for
-  // returns, and destroy immediately — repeatedly. A lost stop notification
-  // or a worker stuck on the generation check would deadlock this loop.
-  for (int iteration = 0; iteration < 40; ++iteration) {
-    ThreadPool pool(4);
-    std::atomic<int> executed{0};
-    pool.parallel_for(64, [&](std::size_t, std::size_t) {
-      executed.fetch_add(1, std::memory_order_relaxed);
-    });
-    EXPECT_EQ(executed.load(), 64);
-  }
-}
-
-TEST(ThreadPool, ShutdownAfterFailedJobDoesNotHang) {
-  for (int iteration = 0; iteration < 40; ++iteration) {
-    ThreadPool pool(4);
-    EXPECT_THROW(pool.parallel_for(32,
-                                   [](std::size_t, std::size_t i) {
-                                     if (i == 0) throw std::runtime_error("early");
-                                   }),
-                 std::runtime_error);
-  }
-}
-
-TEST(ThreadPool, RecommendedThreadsClamps) {
-  EXPECT_EQ(ThreadPool::recommended_threads(8, 3), 3u);
-  EXPECT_EQ(ThreadPool::recommended_threads(2, 100), 2u);
-  EXPECT_EQ(ThreadPool::recommended_threads(5, 0), 1u);
-  EXPECT_GE(ThreadPool::recommended_threads(0, 100), 1u);
-}
-
 // --- FunctionRef ----------------------------------------------------------
 
 TEST(FunctionRef, BindsLambdasAndForwardsArguments) {
@@ -562,24 +440,116 @@ TEST(FunctionRef, RebindsByAssignment) {
   EXPECT_EQ(ref(0), 2);
 }
 
-TEST(ThreadPool, ReportsWorkerThreads) {
-  EXPECT_FALSE(ThreadPool::on_worker_thread());
-  ThreadPool pool(2);
-  std::atomic<int> on_worker{0};
-  pool.parallel_for(8, [&](std::size_t, std::size_t) {
-    if (ThreadPool::on_worker_thread()) on_worker.fetch_add(1);
-  });
-  EXPECT_EQ(on_worker.load(), 8);
-  EXPECT_FALSE(ThreadPool::on_worker_thread());
+// --- locale-independent parsing -------------------------------------------
+
+namespace {
+
+/// RAII LC_NUMERIC override; `ok()` is false when the host has not
+/// generated the requested locale, in which case dependent tests skip.
+class ScopedNumericLocale {
+ public:
+  explicit ScopedNumericLocale(const char* name) {
+    const char* current = std::setlocale(LC_NUMERIC, nullptr);
+    saved_ = current ? current : "C";
+    ok_ = std::setlocale(LC_NUMERIC, name) != nullptr;
+  }
+  ~ScopedNumericLocale() { std::setlocale(LC_NUMERIC, saved_.c_str()); }
+  bool ok() const { return ok_; }
+
+ private:
+  std::string saved_;
+  bool ok_ = false;
+};
+
+/// When the ctest harness sets HPAC_TEST_FORCE_LOCALE (the non-C-locale
+/// re-run of these suites), adopt it for the whole binary: a C++ process
+/// starts in the "C" locale regardless of the environment, so without
+/// this the re-run would be vacuous.
+const bool g_locale_env_adopted = [] {
+  if (const char* name = std::getenv("HPAC_TEST_FORCE_LOCALE")) {
+    if (!std::setlocale(LC_ALL, name)) {
+      std::fprintf(stderr, "note: locale %s not generated on this host; staying in C\n",
+                   name);
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+TEST(Strings, ParseIntRejectsOverflow) {
+  long long v = 0;
+  // One past LLONG_MAX / LLONG_MIN: strtoll clamped these (its ERANGE
+  // went unchecked), so out-of-range literals silently parsed as the
+  // clamped boundary value instead of failing.
+  EXPECT_FALSE(strings::parse_int("9223372036854775808", v));
+  EXPECT_FALSE(strings::parse_int("-9223372036854775809", v));
+  EXPECT_FALSE(strings::parse_int("123456789012345678901234567890", v));
+  // The exact boundaries still parse.
+  EXPECT_TRUE(strings::parse_int("9223372036854775807", v));
+  EXPECT_EQ(v, std::numeric_limits<long long>::max());
+  EXPECT_TRUE(strings::parse_int("-9223372036854775808", v));
+  EXPECT_EQ(v, std::numeric_limits<long long>::min());
 }
 
-TEST(ThreadPool, InlinePoolDoesNotClaimWorkerStatus) {
-  // A zero-size pool runs bodies on the caller; that thread is not a pool
-  // worker, so nested engines may still fan out.
-  ThreadPool pool(0);
-  bool saw_worker = false;
-  pool.parallel_for(3, [&](std::size_t, std::size_t) {
-    saw_worker = saw_worker || ThreadPool::on_worker_thread();
-  });
-  EXPECT_FALSE(saw_worker);
+TEST(Strings, ParseIntKeepsExplicitPlusCompatibility) {
+  long long v = 0;
+  EXPECT_TRUE(strings::parse_int("+42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_FALSE(strings::parse_int("+-42", v));
+  EXPECT_FALSE(strings::parse_int("+", v));
+}
+
+TEST(Strings, ParseDoubleRejectsOutOfRangeAndKeepsPlus) {
+  double v = 0;
+  EXPECT_FALSE(strings::parse_double("1e999", v));
+  EXPECT_FALSE(strings::parse_double("-1e999", v));
+  EXPECT_TRUE(strings::parse_double("+0.25", v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_FALSE(strings::parse_double("+-0.25", v));
+  EXPECT_FALSE(strings::parse_double("+", v));
+}
+
+TEST(StringsLocale, ParsersIgnoreCommaDecimalLocale) {
+  ScopedNumericLocale de("de_DE.UTF-8");
+  if (!de.ok()) GTEST_SKIP() << "de_DE.UTF-8 not generated on this host";
+  double v = 0;
+  // Under LC_NUMERIC=de_DE, strtod stopped at the '.' and rejected these.
+  EXPECT_TRUE(strings::parse_double("0.5", v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(strings::parse_double("1e-3", v));
+  EXPECT_DOUBLE_EQ(v, 1e-3);
+  EXPECT_TRUE(strings::parse_double("0.5f", v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  // A comma decimal separator is not part of the clause/CSV grammar in
+  // any locale.
+  EXPECT_FALSE(strings::parse_double("0,5", v));
+  long long i = 0;
+  EXPECT_TRUE(strings::parse_int("-123456", i));
+  EXPECT_EQ(i, -123456);
+}
+
+TEST(CsvLocale, CheckpointRoundTripSurvivesCommaDecimalLocale) {
+  // A campaign checkpoint is written with std::to_chars and re-parsed on
+  // resume through parse_double; under a comma-decimal LC_NUMERIC the
+  // strtod-based parser rejected the file it had itself written, so the
+  // typed re-parse degraded doubles to strings and resume blew up in
+  // number_at. The round trip must stay typed and byte-stable.
+  CsvTable table({"name", "speedup", "count"});
+  table.add_row({std::string("a"), 1.0 / 3.0, 42LL});
+  table.add_row({std::string("b"), 6.02214076e23, -7LL});
+  table.add_row({std::string("c"), 0.5, 9000000000000LL});
+  std::ostringstream first;
+  table.write(first);
+
+  ScopedNumericLocale de("de_DE.UTF-8");
+  if (!de.ok()) GTEST_SKIP() << "de_DE.UTF-8 not generated on this host";
+  std::istringstream in(first.str());
+  const CsvTable loaded = CsvTable::load(in);
+  EXPECT_DOUBLE_EQ(loaded.number_at(0, "speedup"), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(loaded.number_at(1, "speedup"), 6.02214076e23);
+  EXPECT_DOUBLE_EQ(loaded.number_at(2, "count"), 9000000000000.0);
+  std::ostringstream second;
+  loaded.write(second);
+  EXPECT_EQ(first.str(), second.str());
 }

@@ -12,6 +12,7 @@
 #include "approx/region.hpp"
 #include "approx/taf.hpp"
 #include "common/error.hpp"
+#include "common/scheduler.hpp"
 #include "common/stats.hpp"
 #include "pragma/parser.hpp"
 #include "sim/device.hpp"
@@ -588,10 +589,59 @@ TEST(RegionParallel, NonIndependentBindingStaysSerial) {
   EXPECT_EQ(sum, expected);
 }
 
+TEST(RegionParallel, NestedLaunchInsideSchedulerTaskStillShards) {
+  // PR 3's engine forced shards = 1 whenever the caller was a pool worker
+  // (the binary on_worker_thread gate), so a region launched from an
+  // Explorer/Campaign worker silently ran serial. On the shared
+  // work-stealing scheduler the nested launch fans out: its shards are
+  // stealable tasks and the submitting worker executes its share. The
+  // shard decision is observable via stats.host_shards; results stay
+  // bit-identical to the serial engine.
+  ExecTuning serial;
+  serial.max_threads = 1;
+  TestRegion serial_region;
+  const EngineRun reference =
+      run_with_tuning(serial_region, serial_region.binding(), "memo(out:3:8:0.5)", serial);
+  EXPECT_EQ(reference.report.stats.host_shards, 1u);
+
+  EngineRun nested;
+  Scheduler::shared().parallel_for(1, [&](std::size_t, std::size_t) {
+    ASSERT_TRUE(Scheduler::in_task());
+    TestRegion region;
+    nested = run_with_tuning(region, region.binding(), "memo(out:3:8:0.5)",
+                             forced_shards(4));
+  });
+  EXPECT_GT(nested.report.stats.host_shards, 1u);
+  expect_identical(reference, nested, "nested launch");
+}
+
+TEST(RegionParallel, ConcurrentIndependentLaunchesAllShard) {
+  // Two concurrent independent_items launches used to race for a
+  // try-locked pool gate: the loser quietly serialized. With the shared
+  // scheduler both fan out and both stay bit-identical to serial.
+  ExecTuning serial;
+  serial.max_threads = 1;
+  TestRegion serial_region;
+  const EngineRun reference =
+      run_with_tuning(serial_region, serial_region.binding(), "memo(out:3:8:0.5)", serial);
+
+  std::vector<EngineRun> runs(2);
+  Scheduler::shared().parallel_for(runs.size(), [&](std::size_t, std::size_t i) {
+    TestRegion region;
+    runs[i] = run_with_tuning(region, region.binding(), "memo(out:3:8:0.5)",
+                              forced_shards(4));
+  });
+  for (const EngineRun& run : runs) {
+    EXPECT_GT(run.report.stats.host_shards, 1u);
+    expect_identical(reference, run, "concurrent launch");
+  }
+}
+
 TEST(RegionParallel, ShardMergeStress) {
-  // TSan target: many concurrent launches racing for the shared shard
-  // pool. Outer threads force sharding; whoever loses the pool gate runs
-  // serially — results must be identical either way.
+  // TSan target: many concurrent launches publishing shard tasks onto the
+  // shared work-stealing scheduler at once. Every launch fans out (no
+  // pool gate to lose anymore) — results must be identical regardless of
+  // which thread steals which shard.
   ExecTuning serial;
   serial.max_threads = 1;
   TestRegion golden_region;
