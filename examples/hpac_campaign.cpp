@@ -18,6 +18,8 @@
 #include <optional>
 #include <string>
 
+#include "approx/audit.hpp"
+#include "approx/region.hpp"
 #include "apps/registry.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -34,9 +36,11 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--benchmarks=a,b,...] [--devices=v100,mi250x,a100]\n"
                "          [--sweep=curated|taf|iact|perfo] [--ipt=8,64]\n"
-               "          [--threads=N] [--max-error=PCT] [--csv=FILE]\n\n"
+               "          [--threads=N] [--max-error=PCT] [--csv=FILE]\n"
+               "          [--audit=off|report|enforce]\n\n"
                "Defaults: all benchmarks, the paper's two devices, the curated\n"
-               "spec sets. --csv doubles as the resume checkpoint.\n\nbenchmarks:",
+               "spec sets. --csv doubles as the resume checkpoint. --audit runs\n"
+               "the whole campaign under the commit-conflict auditor.\n\nbenchmarks:",
                argv0);
   for (const auto& name : apps::benchmark_names()) std::fprintf(stderr, " %s", name.c_str());
   std::fprintf(stderr, "\n");
@@ -71,6 +75,7 @@ int main(int argc, char** argv) {
   plan.benchmarks = apps::benchmark_names();
   plan.devices = {"v100", "mi250x"};
   std::string sweep = "curated";
+  std::string audit = "off";
   double max_error = 10.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -94,9 +99,18 @@ int main(int argc, char** argv) {
       for (const auto& item : parse_list(*v7)) {
         plan.items_per_thread.push_back(parse_count("--ipt", item, /*allow_zero=*/false));
       }
+    } else if (auto v8 = value("--audit")) {
+      audit = *v8;
     } else {
       usage(argv[0]);
     }
+  }
+  const auto audit_mode = approx::audit::audit_mode_from_string(audit);
+  if (!audit_mode) usage(argv[0]);
+  if (*audit_mode != approx::audit::AuditMode::kOff) {
+    approx::RegionExecutor::set_default_audit(*audit_mode);
+    std::printf("commit-conflict audit: %s (with differential re-runs)\n",
+                approx::audit::to_string(*audit_mode));
   }
   if (sweep == "taf") {
     plan.specs_for = [](const sim::DeviceConfig&) {
@@ -132,6 +146,10 @@ int main(int argc, char** argv) {
                 result.planned, result.restored, result.evaluated, result.feasible,
                 result.stale ? strings::format(" (%zu stale rows dropped)", result.stale).c_str()
                              : "");
+    if (*audit_mode != approx::audit::AuditMode::kOff) {
+      std::printf("audit (%s): %zu record(s) flagged with commit conflicts\n",
+                  approx::audit::to_string(*audit_mode), result.audit_flagged);
+    }
 
     TextTable table({"device", "geomean best", "feasible", "configs"});
     for (const auto& row :

@@ -16,6 +16,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "approx/audit.hpp"
+#include "approx/region.hpp"
 #include "apps/registry.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -33,8 +35,10 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --benchmark=NAME [--device=v100|mi250x] [--ipt=N]\n"
                "          (--clause=\"...\" [--perfo=\"...\"] | --sweep=taf|iact|perfo)\n"
-               "          [--csv=FILE]\n\n"
-               "benchmarks:",
+               "          [--csv=FILE] [--audit=off|report|enforce]\n\n"
+               "--audit validates every independent_items declaration at runtime\n"
+               "(address-range tagging + a differential re-run); report annotates\n"
+               "flagged records, enforce makes them infeasible.\n\nbenchmarks:",
                argv0);
   for (const auto& name : apps::benchmark_names()) std::fprintf(stderr, " %s", name.c_str());
   std::fprintf(stderr, "\n");
@@ -50,6 +54,9 @@ void print_record(const harness::RunRecord& r) {
   std::printf("%-44s ipt=%-4llu speedup %6.2fx  error %10.4g%%  approx %5.1f%%\n",
               r.spec_text.c_str(), static_cast<unsigned long long>(r.items_per_thread),
               r.speedup, r.error_percent, 100.0 * r.approx_ratio);
+  if (!r.note.empty()) {
+    std::printf("%-44s      ^ %s\n", "", r.note.c_str());
+  }
 }
 
 }  // namespace
@@ -57,6 +64,7 @@ void print_record(const harness::RunRecord& r) {
 int main(int argc, char** argv) {
   std::string benchmark, clause, perfo_clause, sweep, csv;
   std::string device = "v100";
+  std::string audit = "off";
   std::uint64_t ipt = 8;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -72,9 +80,18 @@ int main(int argc, char** argv) {
     else if (auto v5 = value("--sweep")) sweep = *v5;
     else if (auto v6 = value("--csv")) csv = *v6;
     else if (auto v7 = value("--ipt")) ipt = std::strtoull(v7->c_str(), nullptr, 10);
+    else if (auto v8 = value("--audit")) audit = *v8;
     else usage(argv[0]);
   }
   if (benchmark.empty() || (clause.empty() && sweep.empty())) usage(argv[0]);
+
+  const auto audit_mode = approx::audit::audit_mode_from_string(audit);
+  if (!audit_mode) usage(argv[0]);
+  if (*audit_mode != approx::audit::AuditMode::kOff) {
+    approx::RegionExecutor::set_default_audit(*audit_mode);
+    std::printf("commit-conflict audit: %s (with differential re-runs)\n",
+                approx::audit::to_string(*audit_mode));
+  }
 
   try {
     auto app = apps::make_benchmark(benchmark);

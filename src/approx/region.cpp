@@ -4,6 +4,7 @@
 #include <array>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -99,6 +100,52 @@ struct ScalarCommitAdapter {
   }
 };
 
+// --- audit instrumentation ---------------------------------------------------
+//
+// When the launch is audited (ExecTuning::audit_mode != kOff and the
+// binding declares independent_items), the bound dispatch is wrapped once
+// per launch with adapters that log each executed item's declared extents
+// into the context's shard log. The wrap happens at bind time, so the
+// audit-off path executes exactly the instructions it executed before the
+// auditor existed — there is no per-item branch.
+
+struct AuditCommitAdapter {
+  FunctionRef<void(std::uint64_t, LaneMask, std::span<const double>)> inner;
+  const RegionBinding* binding;
+  audit::ShardLog* log;
+  void operator()(std::uint64_t first_item, LaneMask lanes, std::span<const double> out) const {
+    inner(first_item, lanes, out);
+    sim::for_each_lane(lanes, [&](int lane) {
+      log->record_commit(*binding, first_item + static_cast<std::uint64_t>(lane));
+    });
+  }
+};
+
+struct AuditGatherAdapter {
+  FunctionRef<void(std::uint64_t, LaneMask, std::span<double>)> inner;
+  const RegionBinding* binding;
+  audit::ShardLog* log;
+  void operator()(std::uint64_t first_item, LaneMask lanes, std::span<double> in) const {
+    inner(first_item, lanes, in);
+    sim::for_each_lane(lanes, [&](int lane) {
+      log->record_read(*binding, first_item + static_cast<std::uint64_t>(lane));
+    });
+  }
+};
+
+struct AuditAccurateAdapter {
+  FunctionRef<void(std::uint64_t, LaneMask, std::span<const double>, std::span<double>)> inner;
+  const RegionBinding* binding;
+  audit::ShardLog* log;
+  void operator()(std::uint64_t first_item, LaneMask lanes, std::span<const double> in,
+                  std::span<double> out) const {
+    inner(first_item, lanes, in, out);
+    sim::for_each_lane(lanes, [&](int lane) {
+      log->record_read(*binding, first_item + static_cast<std::uint64_t>(lane));
+    });
+  }
+};
+
 /// Per-warp scratch carried between the decision phase and the execution
 /// phase of one grid-stride step (needed because block-level decisions
 /// depend on every warp's ballot).
@@ -125,7 +172,8 @@ class RunContext {
              const ApproxSpec& spec, const RegionBinding& binding, std::uint64_t n,
              const sim::LaunchConfig& launch, std::size_t ac_bytes,
              const pragma::PerfoParams* composed_perfo, std::uint64_t team_begin,
-             std::uint64_t team_end, bool force_scalar)
+             std::uint64_t team_end, bool force_scalar,
+             audit::ShardLog* audit_log = nullptr)
       : dev_(dev),
         composed_perfo_(composed_perfo),
         replacement_(replacement),
@@ -182,6 +230,24 @@ class RunContext {
       commit_ = binding.commit_batch;
     } else if (binding.commit) {
       commit_ = commit_adapter_;
+    }
+    // Audited launches wrap the bound dispatch once, here; the audit-off
+    // path never reaches these assignments.
+    if (audit_log != nullptr) {
+      if (commit_) {
+        audit_commit_adapter_ = AuditCommitAdapter{commit_, &binding, audit_log};
+        commit_ = audit_commit_adapter_;
+      }
+      if (binding.read_extents) {
+        if (gather_) {
+          audit_gather_adapter_ = AuditGatherAdapter{gather_, &binding, audit_log};
+          gather_ = audit_gather_adapter_;
+        }
+        if (accurate_) {
+          audit_accurate_adapter_ = AuditAccurateAdapter{accurate_, &binding, audit_log};
+          accurate_ = audit_accurate_adapter_;
+        }
+      }
     }
   }
 
@@ -706,6 +772,12 @@ class RunContext {
   ScalarCostAdapter cost_adapter_;
   ScalarCommitAdapter commit_adapter_;
 
+  // Audit wrappers around the bound dispatch (inert unless the launch is
+  // audited; see the constructor).
+  AuditCommitAdapter audit_commit_adapter_;
+  AuditGatherAdapter audit_gather_adapter_;
+  AuditAccurateAdapter audit_accurate_adapter_;
+
   // Hot-path dispatch, bound once per launch.
   FunctionRef<void(std::uint64_t, LaneMask, std::span<double>)> gather_;
   FunctionRef<void(std::uint64_t, LaneMask, std::span<const double>, std::span<double>)>
@@ -742,6 +814,12 @@ void RegionExecutor::set_default_tuning(const ExecTuning& tuning) {
 ExecTuning RegionExecutor::default_tuning() {
   std::lock_guard<std::mutex> lock(tuning_mutex());
   return default_tuning_storage();
+}
+
+void RegionExecutor::set_default_audit(audit::AuditMode mode, bool differential) {
+  std::lock_guard<std::mutex> lock(tuning_mutex());
+  default_tuning_storage().audit_mode = mode;
+  default_tuning_storage().audit_differential = differential;
 }
 
 std::size_t RegionExecutor::ac_state_bytes_per_block(const pragma::ApproxSpec& spec,
@@ -789,49 +867,106 @@ RegionReport RegionExecutor::run_impl(const pragma::ApproxSpec& spec,
     shards = 1;
   }
 
+  // Commit-conflict auditing: validates the independent_items declaration
+  // instead of assuming it. The auditor is constructed before the launch
+  // runs (its differential pre-image must be the true initial state) and
+  // audits regardless of whether *this* launch actually sharded — a
+  // mislabeled binding is a hazard on every machine, not just the one it
+  // raced on. Fully inert when audit_mode == kOff: not even constructed.
+  std::optional<audit::LaunchAudit> auditor;
+  if (tuning_.audit_mode != audit::AuditMode::kOff && binding.independent_items && n > 0) {
+    auditor.emplace(binding, n, shards, tuning_.audit_differential);
+    if (auditor->missing_extents() && tuning_.audit_mode == audit::AuditMode::kEnforce) {
+      throw ConfigError(std::string(audit::kConflictToken) + " audit: binding '" +
+                        auditor->binding_name() +
+                        "' declares independent_items but no commit_extents; the claim "
+                        "cannot be verified");
+    }
+  }
+  const auto shard_log = [&](std::size_t s) -> audit::ShardLog* {
+    return auditor && auditor->instrumented() ? &auditor->log(s) : nullptr;
+  };
+
+  RegionReport report;
   if (shards <= 1) {
     RunContext ctx(dev_, replacement_, costs_, spec, binding, n, launch, ac_bytes,
-                   composed_perfo, 0, teams, tuning_.force_scalar);
+                   composed_perfo, 0, teams, tuning_.force_scalar, shard_log(0));
     ctx.execute_body();
-    RegionReport report = ctx.finalize_report();
+    report = ctx.finalize_report();
     report.stats.host_shards = 1;
-    return report;
+  } else {
+    // Contiguous, near-equal team ranges; shard s gets one extra team while
+    // the remainder lasts.
+    std::vector<std::unique_ptr<RunContext>> shard_ctxs;
+    shard_ctxs.reserve(shards);
+    const std::uint64_t per_shard = teams / shards;
+    const std::uint64_t extra = teams % shards;
+    std::uint64_t begin = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::uint64_t length = per_shard + (s < extra ? 1 : 0);
+      shard_ctxs.push_back(std::make_unique<RunContext>(
+          dev_, replacement_, costs_, spec, binding, n, launch, ac_bytes, composed_perfo,
+          begin, begin + length, tuning_.force_scalar, shard_log(s)));
+      begin += length;
+    }
+    Scheduler::shared().parallel_for(
+        shard_ctxs.size(),
+        [&](std::size_t, std::size_t s) { shard_ctxs[s]->execute_body(); },
+        /*max_participants=*/shards);
+
+    // Shard merge order is the shard index order — fixed above when the
+    // contiguous team ranges were cut — so the folded ledgers, counters and
+    // therefore every downstream CSV byte are independent of which thread
+    // executed which shard.
+    sim::KernelTracker total(dev_, launch, ac_bytes);
+    ExecStats stats;
+    stats.shared_bytes_per_block = ac_bytes;
+    for (const auto& ctx : shard_ctxs) {
+      total.merge(ctx->tracker());
+      merge_stats(stats, ctx->stats());
+    }
+    stats.host_shards = shards;
+    report.timing = total.finalize();
+    report.stats = stats;
   }
 
-  // Contiguous, near-equal team ranges; shard s gets one extra team while
-  // the remainder lasts.
-  std::vector<std::unique_ptr<RunContext>> shard_ctxs;
-  shard_ctxs.reserve(shards);
-  const std::uint64_t per_shard = teams / shards;
-  const std::uint64_t extra = teams % shards;
-  std::uint64_t begin = 0;
-  for (std::size_t s = 0; s < shards; ++s) {
-    const std::uint64_t length = per_shard + (s < extra ? 1 : 0);
-    shard_ctxs.push_back(std::make_unique<RunContext>(
-        dev_, replacement_, costs_, spec, binding, n, launch, ac_bytes, composed_perfo, begin,
-        begin + length, tuning_.force_scalar));
-    begin += length;
+  if (auditor) {
+    auditor->analyze();
+    if (auditor->differential_ready()) {
+      // Differential pass: re-execute the launch under a reversed-shard
+      // serial schedule — a legal schedule of the sharded run, since the
+      // engine's per-team state resets make results decomposition- and
+      // order-invariant *when items are independent* — and byte-compare
+      // the committed output. The shard count is a fixed constant (not
+      // the machine's), so findings are deterministic across hosts, and
+      // the application state is restored to the audited run's bytes
+      // afterwards, so auditing never changes what the app observes.
+      const audit::Snapshot after = auditor->take_snapshot();
+      auditor->restore_pre();
+      const std::uint64_t diff_shards =
+          std::min<std::uint64_t>(teams, audit::LaunchAudit::kDifferentialShards);
+      const std::uint64_t per_shard = teams / std::max<std::uint64_t>(1, diff_shards);
+      const std::uint64_t extra = teams % std::max<std::uint64_t>(1, diff_shards);
+      for (std::uint64_t s = diff_shards; s-- > 0;) {
+        const std::uint64_t begin = s * per_shard + std::min<std::uint64_t>(s, extra);
+        const std::uint64_t length = per_shard + (s < extra ? 1 : 0);
+        RunContext ctx(dev_, replacement_, costs_, spec, binding, n, launch, ac_bytes,
+                       composed_perfo, begin, begin + length, tuning_.force_scalar);
+        ctx.execute_body();
+      }
+      auditor->compare_with(after);
+      auditor->restore(after);
+    }
+    std::vector<audit::ConflictReport> conflicts = auditor->take_conflicts();
+    if (!conflicts.empty()) {
+      if (tuning_.audit_mode == audit::AuditMode::kEnforce) {
+        throw ConfigError(std::string(audit::kConflictToken) + " audit failed for binding '" +
+                          auditor->binding_name() +
+                          "': " + audit::LaunchAudit::summarize(conflicts));
+      }
+      report.stats.conflicts = std::move(conflicts);
+    }
   }
-  Scheduler::shared().parallel_for(
-      shard_ctxs.size(),
-      [&](std::size_t, std::size_t s) { shard_ctxs[s]->execute_body(); },
-      /*max_participants=*/shards);
-
-  // Shard merge order is the shard index order — fixed above when the
-  // contiguous team ranges were cut — so the folded ledgers, counters and
-  // therefore every downstream CSV byte are independent of which thread
-  // executed which shard.
-  sim::KernelTracker total(dev_, launch, ac_bytes);
-  ExecStats stats;
-  stats.shared_bytes_per_block = ac_bytes;
-  for (const auto& ctx : shard_ctxs) {
-    total.merge(ctx->tracker());
-    merge_stats(stats, ctx->stats());
-  }
-  stats.host_shards = shards;
-  RegionReport report;
-  report.timing = total.finalize();
-  report.stats = stats;
   return report;
 }
 

@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
+#include <vector>
 
+#include "approx/audit.hpp"
 #include "approx/iact.hpp"
 #include "pragma/spec.hpp"
 #include "sim/device.hpp"
@@ -46,6 +49,10 @@ namespace hpac::approx {
 /// per-lane order (e.g. a Gauss–Seidel-style in-place sweep) would
 /// observe different neighbor values and must be restructured.
 struct RegionBinding {
+  /// Diagnostic label used in audit reports and error messages; empty is
+  /// rendered as "<unnamed>".
+  std::string name;
+
   /// Doubles per item gathered as the iACT input key (the `in(...)`
   /// sections). Zero for TAF/perforation-only regions.
   int in_dims = 0;
@@ -111,6 +118,29 @@ struct RegionBinding {
   /// values across items (order-dependent rounding) or mutate shared
   /// non-atomic state.
   bool independent_items = false;
+
+  // --- audit introspection (optional) --------------------------------------
+
+  /// Declare the byte intervals `commit` writes for `item`, through
+  /// `sink.writes(ptr, len)` (item-exclusive output) and
+  /// `sink.commuting(ptr, len)` (shared state whose updates commute
+  /// exactly, e.g. an atomic counter). The commit-conflict auditor
+  /// (`ExecTuning::audit_mode`) verifies that exclusive intervals of
+  /// distinct items never overlap — the property `independent_items`
+  /// asserts. The declaration must be *complete*: `commit` must write no
+  /// bytes outside the declared intervals, since the differential re-run
+  /// snapshots and restores exactly these bytes (an under-declared
+  /// order-dependent write is invisible to the auditor and would survive
+  /// the re-run). Cheap address arithmetic only; never invoked when
+  /// auditing is off. An `independent_items` binding without this
+  /// callback fails `enforce` audits (the claim cannot be verified).
+  std::function<void(std::uint64_t item, audit::ExtentSink& sink)> commit_extents;
+
+  /// Declare the byte intervals the gather/accurate path reads for `item`
+  /// through `sink.reads(ptr, len)`. Optional: enables static read-vs-
+  /// write overlap detection; read-side dependences of bindings without
+  /// it are only caught by the differential audit re-run.
+  std::function<void(std::uint64_t item, audit::ExtentSink& sink)> read_extents;
 };
 
 /// Execution counters produced by a region run.
@@ -130,6 +160,10 @@ struct ExecStats {
   /// the fan-out decision observable, e.g. to assert that a launch nested
   /// inside a sweep worker is no longer forced serial.
   std::size_t host_shards = 1;
+  /// Commit-conflict audit findings (`ExecTuning::audit_mode == kReport`;
+  /// `kEnforce` throws instead of collecting). Empty when auditing is off
+  /// or the launch audited clean.
+  std::vector<audit::ConflictReport> conflicts;
 
   /// Fraction of covered items answered approximately (memo) or skipped
   /// (perforation) — the color scale of Figure 8c.
@@ -183,6 +217,17 @@ struct ExecTuning {
   /// Testing/diagnostics: route batched bindings through the scalar
   /// compatibility adapter (requires the scalar form to be present).
   bool force_scalar = false;
+  /// Commit-conflict auditing of `independent_items` bindings (see
+  /// `hpac::approx::audit`). `kOff` leaves the dispatch path untouched;
+  /// `kReport` collects findings into `ExecStats::conflicts`; `kEnforce`
+  /// throws `hpac::ConfigError` on the first conflicting launch.
+  audit::AuditMode audit_mode = audit::AuditMode::kOff;
+  /// With auditing on, additionally re-execute every audited launch under
+  /// a reversed-shard serial schedule and byte-compare the committed
+  /// output — catches read-side dependences that address tagging cannot
+  /// see. Roughly doubles the cost of audited launches; application
+  /// state is restored afterwards, so results are unchanged.
+  bool audit_differential = false;
 };
 
 /// Executes an annotated region over a 1-D iteration space on the
@@ -252,6 +297,11 @@ class RegionExecutor {
   /// their own executors.
   static void set_default_tuning(const ExecTuning& tuning);
   static ExecTuning default_tuning();
+
+  /// Convenience for the CLIs' `--audit` flag: clone the current default
+  /// tuning, set the audit knobs, reinstall. Every executor constructed
+  /// afterwards (the registry apps build their own) runs audited.
+  static void set_default_audit(audit::AuditMode mode, bool differential = true);
 
  private:
   RegionReport run_impl(const pragma::ApproxSpec& spec, const RegionBinding& binding,

@@ -89,6 +89,7 @@ harness::RunOutput BinomialOptions::run(const pragma::ApproxSpec& spec,
     offload::MapScope map_out(dev, n * sizeof(double), offload::MapDir::kFrom);
 
     approx::RegionBinding binding;
+    binding.name = "binomial.tree_price";
     binding.in_dims = 3;
     binding.out_dims = 1;
     binding.in_bytes = 3 * sizeof(double);
@@ -114,6 +115,7 @@ harness::RunOutput BinomialOptions::run(const pragma::ApproxSpec& spec,
     bind_constant_cost(binding, 3.0 * steps * steps / 2.0 + 40.0);
     bind_commit(binding, commit_one);
     binding.independent_items = true;  // each item touches only prices[i]
+    bind_row_commit_extents(binding, prices, 1);
 
     const sim::LaunchConfig launch =
         sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());

@@ -61,6 +61,7 @@ harness::RunOutput KMeans::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   offload::MapScope map_membership(dev, n * sizeof(int), offload::MapDir::kFrom);
 
   approx::RegionBinding binding;
+  binding.name = "kmeans.assign";
   binding.in_dims = d;  // the observation's features — the iACT key
   binding.out_dims = 1; // assigned cluster id
   binding.in_bytes = static_cast<std::uint32_t>(d) * sizeof(double);
@@ -90,18 +91,25 @@ harness::RunOutput KMeans::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   bind_constant_cost(binding, 3.0 * d * k + 2.0 * k);
 
   // `changed` commutes (integer adds), so commits of different items may
-  // run on different executor shards; the atomic makes that race-free
-  // without affecting the count.
-  std::atomic<std::uint64_t> changed{0};
+  // run on different executor shards; the atomic_ref makes that race-free
+  // without affecting the count, while the plain storage lets the audit
+  // layer snapshot/restore it as a commuting extent around differential
+  // re-runs.
+  alignas(8) std::uint64_t changed = 0;
   const auto commit_one = [&membership, &changed](std::uint64_t i, const double* out) {
     const int assigned = static_cast<int>(out[0]);
     if (membership[i] != assigned) {
       membership[i] = assigned;
-      changed.fetch_add(1, std::memory_order_relaxed);
+      std::atomic_ref<std::uint64_t>(changed).fetch_add(1, std::memory_order_relaxed);
     }
   };
   bind_commit(binding, commit_one);
   binding.independent_items = true;  // membership[i] writes + commuting counter
+  binding.commit_extents = [&membership, &changed](std::uint64_t i,
+                                                   approx::audit::ExtentSink& sink) {
+    sink.writes(membership.data() + i, sizeof(int));
+    sink.commuting(&changed, sizeof(changed));
+  };
 
   const sim::LaunchConfig launch =
       sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());

@@ -97,6 +97,7 @@ harness::RunOutput LavaMd::run(const pragma::ApproxSpec& spec, std::uint64_t ite
 
   // --- force-contribution kernel (approximated) --------------------------
   approx::RegionBinding force_binding;
+  force_binding.name = "lavamd.force";
   force_binding.in_dims = 4;   // position relative to the neighbor box + charge
   force_binding.out_dims = 4;  // potential + force contribution
   // Traffic: each invocation streams the neighbor box's particles — the
@@ -183,6 +184,7 @@ harness::RunOutput LavaMd::run(const pragma::ApproxSpec& spec, std::uint64_t ite
 
   // --- relocation kernel (always accurate) ------------------------------
   approx::RegionBinding move_binding;
+  move_binding.name = "lavamd.move";
   move_binding.in_dims = 0;
   move_binding.out_dims = 3;
   move_binding.in_bytes = 6 * sizeof(double);
@@ -201,6 +203,7 @@ harness::RunOutput LavaMd::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   };
   bind_commit(move_binding, commit_move);
   move_binding.independent_items = true;  // each item touches only new_pos[i]
+  bind_row_commit_extents(move_binding, new_pos, 3);
   const sim::LaunchConfig move_launch =
       sim::launch_for_items_per_thread(n_particles, 1, threads_per_team());
   launch_kernel(dev, executor, apps::accurate_spec(), move_binding, n_particles, move_launch,

@@ -72,6 +72,7 @@ harness::RunOutput Leukocyte::run(const pragma::ApproxSpec& spec,
   };
 
   approx::RegionBinding imgvf;
+  imgvf.name = "leukocyte.imgvf";
   imgvf.in_dims = 6;  // pixel value, image value, 4-neighborhood
   imgvf.out_dims = 1;
   imgvf.in_bytes = 6 * sizeof(double);
@@ -110,6 +111,9 @@ harness::RunOutput Leukocyte::run(const pragma::ApproxSpec& spec,
   };
   bind_commit(imgvf, commit_one);
   imgvf.independent_items = true;  // reads `field`, writes only next[item]
+  // `next` is captured by reference: the helper resolves the live buffer
+  // at audit time, so the swap between launches keeps extents truthful.
+  bind_row_commit_extents(imgvf, next, 1);
 
   const sim::LaunchConfig launch =
       sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());

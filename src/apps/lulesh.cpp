@@ -43,6 +43,7 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
 
   // --- kernel 1: CalcHourglassControlForElems (approximated) -------------
   approx::RegionBinding hourglass_control;
+  hourglass_control.name = "lulesh.hourglass_control";
   hourglass_control.in_dims = 3;
   hourglass_control.out_dims = 1;
   hourglass_control.in_bytes = 4 * sizeof(double);
@@ -71,9 +72,11 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   bind_constant_cost(hourglass_control, 220.0);
   bind_commit(hourglass_control, [&](std::uint64_t j, const double* out) { q[j] = out[0]; });
   hourglass_control.independent_items = true;  // writes only q[j]
+  bind_row_commit_extents(hourglass_control, q, 1);
 
   // --- kernel 2: CalcFBHourglassForceForElems (approximated) -------------
   approx::RegionBinding fb_hourglass;
+  fb_hourglass.name = "lulesh.fb_hourglass";
   fb_hourglass.in_dims = 2;
   fb_hourglass.out_dims = 1;
   fb_hourglass.in_bytes = 2 * sizeof(double);
@@ -93,10 +96,12 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   bind_constant_cost(fb_hourglass, 180.0);
   bind_commit(fb_hourglass, [&](std::uint64_t j, const double* out) { sigma[j] = out[0]; });
   fb_hourglass.independent_items = true;  // writes only sigma[j]
+  bind_row_commit_extents(fb_hourglass, sigma, 1);
 
   // --- kernel 3: node update (accurate) -----------------------------------
   double dt = 1e-6;
   approx::RegionBinding node_update;
+  node_update.name = "lulesh.node_update";
   node_update.in_dims = 0;
   node_update.out_dims = 2;
   node_update.in_bytes = 4 * sizeof(double);
@@ -123,9 +128,14 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   });
   // Item i reads only its own u[i]/x[i] plus sigma (not written here).
   node_update.independent_items = true;
+  node_update.commit_extents = [&u, &x](std::uint64_t i, approx::audit::ExtentSink& sink) {
+    sink.writes(u.data() + i, sizeof(double));
+    sink.writes(x.data() + i, sizeof(double));
+  };
 
   // --- kernel 4: element update, EOS (accurate) ---------------------------
   approx::RegionBinding elem_update;
+  elem_update.name = "lulesh.elem_update";
   elem_update.in_dims = 0;
   elem_update.out_dims = 3;
   elem_update.in_bytes = 5 * sizeof(double);
@@ -150,6 +160,13 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   });
   // Item j reads x[j+1] (not written here) and its own element fields.
   elem_update.independent_items = true;
+  elem_update.commit_extents = [&e, &rho, &volume, &p](std::uint64_t j,
+                                                       approx::audit::ExtentSink& sink) {
+    sink.writes(e.data() + j, sizeof(double));
+    sink.writes(rho.data() + j, sizeof(double));
+    sink.writes(volume.data() + j, sizeof(double));
+    sink.writes(p.data() + j, sizeof(double));
+  };
 
   const sim::LaunchConfig approx_launch =
       sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());

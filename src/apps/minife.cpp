@@ -56,6 +56,7 @@ harness::RunOutput MiniFe::run(const pragma::ApproxSpec& spec, std::uint64_t ite
 
   // --- SpMV row product (approximated) ------------------------------------
   approx::RegionBinding spmv;
+  spmv.name = "minife.spmv";
   spmv.in_dims = 0;  // varying row width: no uniform iACT key (see header)
   spmv.out_dims = 1;
   spmv.in_bytes = 7 * (sizeof(double) + sizeof(std::uint64_t)) + sizeof(double);
@@ -83,10 +84,12 @@ harness::RunOutput MiniFe::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   };
   bind_commit(spmv, [&ap](std::uint64_t row, const double* out) { ap[row] = out[0]; });
   spmv.independent_items = true;  // reads p (stable here), writes only ap[row]
+  bind_row_commit_extents(spmv, ap, 1);
 
   // --- vector kernels (accurate) -------------------------------------------
   double dot_acc = 0.0;
   approx::RegionBinding dot_pap;
+  dot_pap.name = "minife.dot_pap";
   dot_pap.out_dims = 1;
   dot_pap.in_bytes = 2 * sizeof(double);
   dot_pap.out_bytes = 0;
@@ -98,6 +101,7 @@ harness::RunOutput MiniFe::run(const pragma::ApproxSpec& spec, std::uint64_t ite
 
   double alpha = 0.0;
   approx::RegionBinding update_x_r;
+  update_x_r.name = "minife.update_x_r";
   update_x_r.out_dims = 2;
   update_x_r.in_bytes = 4 * sizeof(double);
   update_x_r.out_bytes = 2 * sizeof(double);
@@ -111,9 +115,14 @@ harness::RunOutput MiniFe::run(const pragma::ApproxSpec& spec, std::uint64_t ite
     r[i] = out[1];
   });
   update_x_r.independent_items = true;  // touches only x[i], r[i]
+  update_x_r.commit_extents = [&x, &r](std::uint64_t i, approx::audit::ExtentSink& sink) {
+    sink.writes(x.data() + i, sizeof(double));
+    sink.writes(r.data() + i, sizeof(double));
+  };
 
   double rr_acc = 0.0;
   approx::RegionBinding dot_rr;
+  dot_rr.name = "minife.dot_rr";
   dot_rr.out_dims = 1;
   dot_rr.in_bytes = sizeof(double);
   dot_rr.out_bytes = 0;
@@ -124,6 +133,7 @@ harness::RunOutput MiniFe::run(const pragma::ApproxSpec& spec, std::uint64_t ite
 
   double beta = 0.0;
   approx::RegionBinding update_p;
+  update_p.name = "minife.update_p";
   update_p.out_dims = 1;
   update_p.in_bytes = 2 * sizeof(double);
   update_p.out_bytes = sizeof(double);
@@ -131,6 +141,7 @@ harness::RunOutput MiniFe::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   bind_constant_cost(update_p, 4.0);
   bind_commit(update_p, [&p](std::uint64_t i, const double* out) { p[i] = out[0]; });
   update_p.independent_items = true;  // touches only p[i]
+  bind_row_commit_extents(update_p, p, 1);
 
   const sim::LaunchConfig spmv_launch =
       sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());

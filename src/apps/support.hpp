@@ -91,6 +91,22 @@ inline void bind_constant_cost(approx::RegionBinding& binding, double cycles) {
   binding.accurate_cost_batch = constant_cost_lanes(cycles);
 }
 
+/// `commit_extents` for the ubiquitous dense-row commit layout: item i's
+/// commit writes the `dims` consecutive elements at `target[i * dims]`.
+/// The container is captured by reference, so ping-pong buffers that are
+/// swapped between launches (leukocyte) resolve to the live buffer at
+/// audit time. Bindings with a non-row shape (several arrays, commuting
+/// counters) set `commit_extents` directly.
+template <typename T>
+void bind_row_commit_extents(approx::RegionBinding& binding, const std::vector<T>& target,
+                             int dims) {
+  binding.commit_extents = [&target, dims](std::uint64_t item,
+                                           approx::audit::ExtentSink& sink) {
+    sink.writes(target.data() + item * static_cast<std::size_t>(dims),
+                static_cast<std::size_t>(dims) * sizeof(T));
+  };
+}
+
 /// Accumulate the counters of one kernel launch into an aggregate (apps
 /// launch their approximated kernels many times per run).
 inline void accumulate_stats(approx::ExecStats& total, const approx::ExecStats& part) {
@@ -105,6 +121,8 @@ inline void accumulate_stats(approx::ExecStats& total, const approx::ExecStats& 
   if (part.shared_bytes_per_block > total.shared_bytes_per_block) {
     total.shared_bytes_per_block = part.shared_bytes_per_block;
   }
+  if (part.host_shards > total.host_shards) total.host_shards = part.host_shards;
+  total.conflicts.insert(total.conflicts.end(), part.conflicts.begin(), part.conflicts.end());
 }
 
 /// Launch one kernel: adds its modeled time to the device timeline and,

@@ -68,7 +68,9 @@ class Benchmark {
   /// state is never shared. Benchmarks with copyable state implement this
   /// as `return std::make_unique<Derived>(*this);`. Returning nullptr
   /// (the default) declares the benchmark non-forkable and makes the
-  /// Explorer fall back to a serial sweep.
+  /// Explorer fall back to a serial sweep. Forks are created lazily per
+  /// sweep slot, so `fork()` must be const-thread-safe (a plain copy
+  /// constructor is) and must keep succeeding once it has succeeded.
   virtual std::unique_ptr<Benchmark> fork() const { return nullptr; }
 
   /// Compute the quality-loss percentage of `approx` against `accurate`

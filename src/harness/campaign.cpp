@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "approx/audit.hpp"
 #include "apps/registry.hpp"
 #include "common/error.hpp"
 #include "common/scheduler.hpp"
@@ -198,6 +199,12 @@ CampaignResult Campaign::run() {
   // --- canonical assembly and atomic final rewrite ---
   for (auto& record : records) {
     result.feasible += record.feasible ? 1 : 0;
+    // Both audit surfaces embed audit::kConflictToken: report-mode notes
+    // from Explorer::evaluate and enforce-mode ConfigError texts. The
+    // shared constant keeps this count immune to rewording.
+    if (record.note.find(approx::audit::kConflictToken) != std::string::npos) {
+      ++result.audit_flagged;
+    }
     result.db.add(std::move(record));
   }
   if (persist) {

@@ -58,6 +58,10 @@ struct CampaignResult {
   std::size_t evaluated = 0;  ///< tuples actually run this invocation
   std::size_t stale = 0;      ///< checkpoint rows not part of this plan (dropped)
   std::size_t feasible = 0;   ///< feasible records across the whole database
+  /// Records the commit-conflict auditor flagged (report-mode findings in
+  /// the note, or enforce-mode ConfigErrors). Always 0 when the campaign
+  /// ran with ExecTuning::audit_mode == kOff.
+  std::size_t audit_flagged = 0;
   ResultDb db;                ///< all records in canonical plan order
 };
 

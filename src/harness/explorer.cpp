@@ -4,8 +4,10 @@
 #include <memory>
 #include <utility>
 
+#include "approx/audit.hpp"
 #include "common/error.hpp"
 #include "common/scheduler.hpp"
+#include "common/strings.hpp"
 
 namespace hpac::harness {
 
@@ -45,15 +47,27 @@ RunRecord Explorer::evaluate(Benchmark& bench, const pragma::ApproxSpec& spec,
     record.end_to_end_seconds = output.timeline.end_to_end_seconds();
     record.iterations = output.iterations;
     record.baseline_iterations = baseline_output_.iterations;
+    if (!output.stats.conflicts.empty()) {
+      // Report-mode audit findings (enforce mode throws ConfigError inside
+      // run and lands in the infeasible branch below). The record stays
+      // feasible — report mode observes, it does not veto.
+      record.note = strings::format("audit: %zu %s finding(s); first: %s",
+                                    output.stats.conflicts.size(),
+                                    approx::audit::kConflictToken,
+                                    output.stats.conflicts.front().to_string().c_str());
+    }
     if (seconds > 0 && baseline_seconds_ > 0) {
       record.speedup = baseline_seconds_ / seconds;
     } else {
       // A non-positive scoped time — on either side of the ratio — is a
       // degenerate measurement, not a legitimate infinite/zero speedup;
       // flag it rather than recording speedup = 0 as if the
-      // configuration had run.
+      // configuration had run. An audit note set above must survive the
+      // flagging (Campaign's audit_flagged counter greps the note).
       record.feasible = false;
-      record.note = "degenerate run: non-positive measured time";
+      record.note = record.note.empty()
+                        ? "degenerate run: non-positive measured time"
+                        : "degenerate run: non-positive measured time; " + record.note;
     }
   } catch (const ConfigError& e) {
     record.feasible = false;
@@ -85,17 +99,20 @@ std::size_t Explorer::sweep(const std::vector<pragma::ApproxSpec>& specs,
   // scheduler has threads would be constructed and never used.
   const std::size_t workers = std::min(Scheduler::recommended_threads(num_threads, total),
                                        Scheduler::shared().parallelism());
+  // Per-slot forks are created lazily: slot 0 (the calling thread always
+  // participates) doubles as the forkability probe, and every other slot
+  // forks on first use — a sweep whose indices are all claimed before any
+  // worker steals pays for exactly one clone. Slots are exclusive to one
+  // thread for the whole job, so the lazy init needs no synchronization;
+  // concurrent forks on different slots are const reads of the source
+  // benchmark.
   std::vector<std::unique_ptr<Benchmark>> forks;
   if (workers > 1) {
-    forks.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      auto fork = benchmark_.fork();
-      if (!fork) {
-        forks.clear();  // non-forkable benchmark: fall back to serial
-        break;
-      }
-      forks.push_back(std::move(fork));
+    if (auto probe = benchmark_.fork()) {
+      forks.resize(workers);
+      forks[0] = std::move(probe);
     }
+    // else: non-forkable benchmark, fall back to serial
   }
 
   std::vector<RunRecord> records(total);
@@ -114,7 +131,14 @@ std::size_t Explorer::sweep(const std::vector<pragma::ApproxSpec>& specs,
     // serial sweep.
     Scheduler::shared().parallel_for(
         total,
-        [&](std::size_t slot, std::size_t index) { eval_at(*forks[slot], index); },
+        [&](std::size_t slot, std::size_t index) {
+          if (!forks[slot]) {
+            forks[slot] = benchmark_.fork();
+            HPAC_REQUIRE(forks[slot] != nullptr,
+                         "Benchmark::fork returned null after a successful probe fork");
+          }
+          eval_at(*forks[slot], index);
+        },
         /*max_participants=*/forks.size());
   }
 

@@ -33,12 +33,13 @@ class Explorer {
   /// Evaluate the cross product specs x items-per-thread, appending to the
   /// database in deterministic (spec-index, items-per-thread-index) order.
   /// When the benchmark is forkable (Benchmark::fork) and more than one
-  /// worker is available, configurations are evaluated concurrently on a
-  /// host thread pool — each worker drives its own fork, the baseline is
-  /// computed eagerly before the fan-out, and the resulting ResultDb (and
-  /// its CSV) is byte-identical to a serial sweep. `num_threads == 0`
-  /// means "use the hardware concurrency"; pass 1 to force the serial
-  /// path. Returns the number of feasible configurations.
+  /// worker is available, configurations are evaluated concurrently on the
+  /// shared scheduler — each participant slot drives its own fork (created
+  /// lazily on the slot's first index, so slots that never steal cost no
+  /// clone), the baseline is computed eagerly before the fan-out, and the
+  /// resulting ResultDb (and its CSV) is byte-identical to a serial sweep.
+  /// `num_threads == 0` means "use the hardware concurrency"; pass 1 to
+  /// force the serial path. Returns the number of feasible configurations.
   std::size_t sweep(const std::vector<pragma::ApproxSpec>& specs,
                     const std::vector<std::uint64_t>& items_per_thread,
                     std::size_t num_threads = 0);

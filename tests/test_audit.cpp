@@ -1,0 +1,306 @@
+// Tests for the commit-conflict auditor (hpac::approx::audit): the layer
+// that validates `independent_items` declarations at runtime instead of
+// trusting them. Coverage:
+//   * every registered app passes audit_mode=enforce (with differential
+//     re-runs) across TAF / iACT / perforation on both device presets;
+//   * the deliberately mislabeled fixture is detected in report and
+//     enforce modes, serially and under team sharding (the sharded cases
+//     run under ThreadSanitizer in CI — the fixture commits through
+//     relaxed atomics so the only races left are semantic ones);
+//   * the differential re-run catches hidden read-side dependence that
+//     address tagging cannot see, and restores application state so
+//     auditing never changes results;
+//   * report determinism, missing-extents handling, off-mode inertness.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "approx/audit.hpp"
+#include "approx/region.hpp"
+#include "apps/registry.hpp"
+#include "common/error.hpp"
+#include "harness/campaign.hpp"
+#include "harness/explorer.hpp"
+#include "harness/params.hpp"
+#include "mislabeled_fixture.hpp"
+#include "pragma/parser.hpp"
+#include "sim/device.hpp"
+
+namespace {
+
+using namespace hpac;
+using approx::audit::AuditMode;
+using approx::audit::ConflictReport;
+using testing_fixture = hpac::testing::MislabeledBenchmark;
+using hpac::testing::Flaw;
+
+class TuningGuard {
+ public:
+  explicit TuningGuard(const approx::ExecTuning& tuning)
+      : previous_(approx::RegionExecutor::default_tuning()) {
+    approx::RegionExecutor::set_default_tuning(tuning);
+  }
+  ~TuningGuard() { approx::RegionExecutor::set_default_tuning(previous_); }
+
+ private:
+  approx::ExecTuning previous_;
+};
+
+approx::ExecTuning serial_audit(AuditMode mode, bool differential) {
+  approx::ExecTuning tuning;
+  tuning.max_threads = 1;
+  tuning.audit_mode = mode;
+  tuning.audit_differential = differential;
+  return tuning;
+}
+
+approx::ExecTuning sharded_audit(AuditMode mode, bool differential) {
+  approx::ExecTuning tuning;
+  tuning.max_threads = 4;
+  tuning.min_teams = 1;
+  tuning.min_items = 0;
+  tuning.min_teams_per_shard = 1;
+  tuning.audit_mode = mode;
+  tuning.audit_differential = differential;
+  return tuning;
+}
+
+harness::RunOutput run_fixture(Flaw flaw, const approx::ExecTuning& tuning) {
+  TuningGuard guard(tuning);
+  testing_fixture bench(flaw);
+  return bench.run(pragma::ApproxSpec{}, bench.default_items_per_thread(), sim::v100());
+}
+
+bool has_kind(const std::vector<ConflictReport>& conflicts, ConflictReport::Kind kind) {
+  for (const auto& c : conflicts) {
+    if (c.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(AuditMode_, NamesRoundTrip) {
+  for (const AuditMode mode : {AuditMode::kOff, AuditMode::kReport, AuditMode::kEnforce}) {
+    const auto parsed = approx::audit::audit_mode_from_string(approx::audit::to_string(mode));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(approx::audit::audit_mode_from_string("verify").has_value());
+}
+
+TEST(Audit, OffModeTrustsTheDeclaration) {
+  const harness::RunOutput output =
+      run_fixture(Flaw::kSharedCell, serial_audit(AuditMode::kOff, false));
+  EXPECT_TRUE(output.stats.conflicts.empty());
+}
+
+TEST(Audit, HonestFixturePassesEnforceWithDifferential) {
+  const harness::RunOutput output =
+      run_fixture(Flaw::kNone, serial_audit(AuditMode::kEnforce, true));
+  EXPECT_TRUE(output.stats.conflicts.empty());
+}
+
+TEST(Audit, SharedCellReportedSerially) {
+  const harness::RunOutput output =
+      run_fixture(Flaw::kSharedCell, serial_audit(AuditMode::kReport, false));
+  ASSERT_FALSE(output.stats.conflicts.empty());
+  const ConflictReport& first = output.stats.conflicts.front();
+  EXPECT_EQ(first.kind, ConflictReport::Kind::kWriteWrite);
+  EXPECT_EQ(first.binding, "fixture.mislabeled");
+  // Reports come out in address order: the lowest shared cell belongs to
+  // items 0 and 1, and offsets are relative so the range is stable.
+  EXPECT_EQ(first.item_a, 0u);
+  EXPECT_EQ(first.item_b, 1u);
+  EXPECT_EQ(first.begin, 0u);
+  EXPECT_EQ(first.end, sizeof(double));
+  EXPECT_NE(first.to_string().find("write/write overlap"), std::string::npos);
+}
+
+TEST(Audit, SharedCellEnforceThrowsConfigError) {
+  TuningGuard guard(serial_audit(AuditMode::kEnforce, false));
+  testing_fixture bench(Flaw::kSharedCell);
+  try {
+    bench.run(pragma::ApproxSpec{}, bench.default_items_per_thread(), sim::v100());
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("commit-conflict"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("fixture.mislabeled"), std::string::npos);
+  }
+}
+
+TEST(Audit, ReportsAreDeterministicAcrossRepeats) {
+  const auto once = [] {
+    std::vector<std::string> texts;
+    for (const auto& c :
+         run_fixture(Flaw::kSharedCell, serial_audit(AuditMode::kReport, false))
+             .stats.conflicts) {
+      texts.push_back(c.to_string());
+    }
+    return texts;
+  };
+  const std::vector<std::string> a = once();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, once());
+}
+
+TEST(Audit, DeclaredReadNeighborCaughtByAddressTagging) {
+  // The read-side dependence is declared via read_extents, so the static
+  // read/write sweep finds it — no differential re-run needed.
+  const harness::RunOutput output =
+      run_fixture(Flaw::kDeclaredReadNeighbor, serial_audit(AuditMode::kReport, false));
+  ASSERT_FALSE(output.stats.conflicts.empty());
+  EXPECT_TRUE(has_kind(output.stats.conflicts, ConflictReport::Kind::kReadWrite));
+}
+
+TEST(Audit, HiddenReadNeighborInvisibleToAddressTaggingAlone) {
+  const harness::RunOutput output =
+      run_fixture(Flaw::kHiddenReadNeighbor, serial_audit(AuditMode::kReport, false));
+  EXPECT_TRUE(output.stats.conflicts.empty());
+}
+
+TEST(Audit, HiddenReadNeighborCaughtByDifferential) {
+  const harness::RunOutput output =
+      run_fixture(Flaw::kHiddenReadNeighbor, serial_audit(AuditMode::kReport, true));
+  ASSERT_FALSE(output.stats.conflicts.empty());
+  EXPECT_TRUE(has_kind(output.stats.conflicts, ConflictReport::Kind::kDifferential));
+}
+
+TEST(Audit, DifferentialRestoresApplicationState) {
+  // Auditing must never change what the application computes: committed
+  // bytes after an audited run (including the differential re-execution
+  // and its restores) equal the un-audited run's bytes exactly.
+  const harness::RunOutput plain =
+      run_fixture(Flaw::kHiddenReadNeighbor, serial_audit(AuditMode::kOff, false));
+  const harness::RunOutput audited =
+      run_fixture(Flaw::kHiddenReadNeighbor, serial_audit(AuditMode::kReport, true));
+  EXPECT_EQ(plain.qoi, audited.qoi);
+}
+
+TEST(Audit, MissingExtentsEnforceThrows) {
+  TuningGuard guard(serial_audit(AuditMode::kEnforce, false));
+  testing_fixture bench(Flaw::kUndeclaredExtents);
+  EXPECT_THROW(bench.run(pragma::ApproxSpec{}, bench.default_items_per_thread(), sim::v100()),
+               ConfigError);
+}
+
+TEST(Audit, MissingExtentsReportFlags) {
+  const harness::RunOutput output =
+      run_fixture(Flaw::kUndeclaredExtents, serial_audit(AuditMode::kReport, false));
+  ASSERT_EQ(output.stats.conflicts.size(), 1u);
+  EXPECT_EQ(output.stats.conflicts.front().kind, ConflictReport::Kind::kMissingExtents);
+}
+
+// --- team-sharded detection (runs under TSan in CI) -------------------------
+
+TEST(AuditSharded, SharedCellReportedUnderTeamSharding) {
+  const harness::RunOutput output =
+      run_fixture(Flaw::kSharedCell, sharded_audit(AuditMode::kReport, false));
+  EXPECT_GT(output.stats.host_shards, 1u);
+  ASSERT_FALSE(output.stats.conflicts.empty());
+  EXPECT_TRUE(has_kind(output.stats.conflicts, ConflictReport::Kind::kWriteWrite));
+  // The folded interval multiset is decomposition-independent, so the
+  // sharded findings match the serial ones exactly.
+  const harness::RunOutput serial =
+      run_fixture(Flaw::kSharedCell, serial_audit(AuditMode::kReport, false));
+  ASSERT_EQ(output.stats.conflicts.size(), serial.stats.conflicts.size());
+  for (std::size_t i = 0; i < serial.stats.conflicts.size(); ++i) {
+    EXPECT_EQ(output.stats.conflicts[i].to_string(), serial.stats.conflicts[i].to_string());
+  }
+}
+
+TEST(AuditSharded, SharedCellEnforceThrowsUnderTeamSharding) {
+  TuningGuard guard(sharded_audit(AuditMode::kEnforce, false));
+  testing_fixture bench(Flaw::kSharedCell);
+  EXPECT_THROW(bench.run(pragma::ApproxSpec{}, bench.default_items_per_thread(), sim::v100()),
+               ConfigError);
+}
+
+TEST(AuditSharded, HonestFixturePassesShardedEnforceWithDifferential) {
+  const harness::RunOutput output =
+      run_fixture(Flaw::kNone, sharded_audit(AuditMode::kEnforce, true));
+  EXPECT_TRUE(output.stats.conflicts.empty());
+}
+
+// --- harness integration -----------------------------------------------------
+
+TEST(AuditHarness, ExplorerAnnotatesReportModeRecords) {
+  TuningGuard guard(serial_audit(AuditMode::kReport, false));
+  testing_fixture bench(Flaw::kSharedCell);
+  harness::Explorer explorer(bench, sim::v100());
+  const harness::RunRecord record = explorer.run_config(pragma::parse_approx("perfo(small:2)"),
+                                                        bench.default_items_per_thread());
+  EXPECT_TRUE(record.feasible);
+  EXPECT_NE(record.note.find("commit-conflict"), std::string::npos);
+}
+
+TEST(AuditHarness, ExplorerEnforceFailsFastAtTheBaseline) {
+  // The accurate baseline run is audited too, and its ConfigError is not
+  // swallowed into a record: a binding whose independence claim is false
+  // invalidates the whole exploration, not one configuration.
+  TuningGuard guard(serial_audit(AuditMode::kEnforce, false));
+  testing_fixture bench(Flaw::kSharedCell);
+  harness::Explorer explorer(bench, sim::v100());
+  EXPECT_THROW(explorer.baseline(), ConfigError);
+}
+
+TEST(AuditHarness, ExplorerMarksEnforceModeRecordsInfeasible) {
+  testing_fixture bench(Flaw::kSharedCell);
+  harness::Explorer explorer(bench, sim::v100());
+  {
+    // Baseline under report mode (observes, does not veto) ...
+    TuningGuard report(serial_audit(AuditMode::kReport, false));
+    explorer.baseline();
+  }
+  // ... then the audited configuration under enforce: the ConfigError is
+  // caught per-record, exactly like any other infeasible configuration.
+  TuningGuard guard(serial_audit(AuditMode::kEnforce, false));
+  const harness::RunRecord record = explorer.run_config(pragma::parse_approx("perfo(small:2)"),
+                                                        bench.default_items_per_thread());
+  EXPECT_FALSE(record.feasible);
+  EXPECT_NE(record.note.find("commit-conflict"), std::string::npos);
+}
+
+TEST(AuditHarness, CampaignCountsCleanEnforceRunAsZeroFlagged) {
+  TuningGuard guard(serial_audit(AuditMode::kEnforce, true));
+  harness::CampaignPlan plan;
+  plan.benchmarks = {"blackscholes"};
+  plan.devices = {"v100"};
+  plan.items_per_thread = {8};
+  plan.num_threads = 1;
+  plan.specs_for = [](const sim::DeviceConfig&) {
+    return std::vector<pragma::ApproxSpec>{pragma::parse_approx("perfo(small:2)")};
+  };
+  const harness::CampaignResult result = harness::Campaign(plan).run();
+  EXPECT_EQ(result.evaluated, 1u);
+  EXPECT_EQ(result.feasible, 1u);
+  EXPECT_EQ(result.audit_flagged, 0u);
+}
+
+// --- the seven registered apps audit clean -----------------------------------
+
+TEST(AuditApps, AllRegisteredAppsPassEnforceAcrossTechniquesAndDevices) {
+  TuningGuard guard(serial_audit(AuditMode::kEnforce, true));
+  const std::vector<std::string> clauses = {
+      "memo(out:3:4:0.3) level(thread)",   // TAF
+      "memo(in:8:0.5) level(thread) in(x) out(y)",  // iACT
+      "perfo(small:2)",                    // perforation
+  };
+  for (const auto& name : apps::benchmark_names()) {
+    for (const char* device : {"v100", "mi250x"}) {
+      auto app = apps::make_benchmark(name);
+      harness::Explorer explorer(*app, sim::device_by_name(device));
+      for (const auto& clause : clauses) {
+        const harness::RunRecord record =
+            explorer.run_config(pragma::parse_approx(clause), 8);
+        // Some (app, technique) pairs are legitimately infeasible (iACT
+        // without uniform inputs); what must never appear is an audit
+        // finding — every registered app's declarations hold up.
+        EXPECT_EQ(record.note.find("commit-conflict"), std::string::npos)
+            << name << " on " << device << " '" << clause << "': " << record.note;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -11,6 +12,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/scheduler.hpp"
 #include "harness/analysis.hpp"
 #include "pragma/parser.hpp"
 #include "harness/explorer.hpp"
@@ -489,4 +491,64 @@ TEST(ResultDb, CsvExportHasAllRows) {
   EXPECT_EQ(csv.row_count(), 2u);
   EXPECT_NO_THROW(csv.column_index("speedup"));
   EXPECT_NO_THROW(csv.column_index("error_percent"));
+}
+
+namespace {
+
+/// ToyBenchmark that counts fork() calls across the whole clone tree —
+/// forks of forks report into the same root counter.
+class ForkCountingBenchmark : public ToyBenchmark {
+ public:
+  ForkCountingBenchmark() : counter_(std::make_shared<std::atomic<std::size_t>>(0)) {}
+
+  std::unique_ptr<Benchmark> fork() const override {
+    counter_->fetch_add(1, std::memory_order_relaxed);
+    return std::make_unique<ForkCountingBenchmark>(*this);
+  }
+
+  std::size_t fork_count() const { return counter_->load(); }
+
+ private:
+  std::shared_ptr<std::atomic<std::size_t>> counter_;
+};
+
+}  // namespace
+
+TEST(Explorer, LazyForkingNeverExceedsParticipantsOnOneSpecSweep) {
+  // One spec x two ipt values = two tasks. Forks are created lazily per
+  // participant slot, so at most min(participants, tasks) = 2 clones can
+  // ever exist — and when the calling thread claims both indices before a
+  // worker steals, exactly 1 (the slot-0 probe). The eager scheme forked
+  // one per slot up front unconditionally.
+  ForkCountingBenchmark bench;
+  Explorer explorer(bench, sim::v100());
+  const auto specs = std::vector<pragma::ApproxSpec>{pragma::ApproxSpec{}};
+  const std::size_t feasible = explorer.sweep(specs, {1, 4}, 8);
+  EXPECT_EQ(feasible, 2u);
+  EXPECT_GE(bench.fork_count(), 1u);
+  EXPECT_LE(bench.fork_count(), 2u);
+  EXPECT_EQ(explorer.db().size(), 2u);
+}
+
+TEST(Explorer, LazyForkingSerialSweepNeverForks) {
+  ForkCountingBenchmark bench;
+  Explorer explorer(bench, sim::v100());
+  explorer.sweep({pragma::ApproxSpec{}}, {1, 4}, /*num_threads=*/1);
+  EXPECT_EQ(bench.fork_count(), 0u);
+}
+
+TEST(Explorer, LazyForkingParallelSweepStaysByteIdenticalToSerial) {
+  const auto specs = curated_perfo_specs();
+  ForkCountingBenchmark serial_bench, parallel_bench;
+  Explorer serial(serial_bench, sim::v100());
+  Explorer parallel(parallel_bench, sim::v100());
+  serial.sweep(specs, {1, 4}, 1);
+  parallel.sweep(specs, {1, 4}, 4);
+  const std::size_t workers = std::min<std::size_t>(
+      {Scheduler::recommended_threads(4, specs.size() * 2), Scheduler::shared().parallelism()});
+  EXPECT_LE(parallel_bench.fork_count(), workers);
+  std::ostringstream serial_csv, parallel_csv;
+  serial.db().to_csv().write(serial_csv);
+  parallel.db().to_csv().write(parallel_csv);
+  EXPECT_EQ(serial_csv.str(), parallel_csv.str());
 }

@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "approx/iact.hpp"
 #include "approx/taf.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 using namespace hpac;
 using namespace hpac::approx;
@@ -233,4 +235,110 @@ TEST(Iact, RejectsUndersizedStorageSpan) {
   EXPECT_THROW(IactTable(4, 2, 1, Replacement::kRoundRobin, storage), Error);
   storage.assign(IactTable::storage_doubles(4, 2, 1), 0.0);
   EXPECT_NO_THROW(IactTable(4, 2, 1, Replacement::kRoundRobin, storage));
+}
+
+// --- property/fuzz: find_nearest vs. a naive reference scan -----------------
+//
+// PR 3 rewrote the probe scan (squared-distance prefix sums, sqrt only on
+// improvements) and ROADMAP plans a SIMD rewrite; this suite is the
+// contract both must satisfy: bit-identical winning index *and*
+// tie-breaking (first strictly-nearer entry wins) against the textbook
+// per-entry-sqrt scan, across randomized shapes, seeds and deliberately
+// tie-rich value distributions.
+
+namespace {
+
+/// The historical scan, verbatim: sqrt of every entry's distance, strict
+/// less-than against the best so far, ascending slot order.
+IactTable::Match naive_find_nearest(const IactTable& table, std::span<const double> probe) {
+  IactTable::Match best;
+  for (int i = 0; i < table.valid_count(); ++i) {
+    const double distance = euclidean_distance(probe, table.input_at(i));
+    if (distance < best.distance) {
+      best.distance = distance;
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+TEST(IactProperty, FindNearestMatchesNaiveReferenceScan) {
+  for (const std::uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    Xoshiro256 rng(seed);
+    for (const int in_dims : {1, 2, 3, 5, 10}) {
+      for (const int tsize : {1, 2, 4, 8, 16}) {
+        TableFixture fixture;
+        IactTable table = fixture.make(tsize, in_dims, 1);
+        std::vector<double> in(static_cast<std::size_t>(in_dims));
+        std::vector<double> out{0.0};
+        // Quantized values make exact distance ties likely, exercising the
+        // first-wins rule; fills beyond capacity exercise eviction too.
+        const auto quantized = [&rng] {
+          return 0.25 * static_cast<double>(rng.uniform_index(9));
+        };
+        const int fills = tsize + static_cast<int>(rng.uniform_index(4));
+        for (int f = 0; f < fills; ++f) {
+          for (auto& v : in) v = quantized();
+          out[0] = static_cast<double>(f);
+          table.insert(in, out);
+        }
+        for (int probe = 0; probe < 64; ++probe) {
+          for (auto& v : in) v = quantized();
+          const IactTable::Match fast = table.find_nearest(in);
+          const IactTable::Match naive = naive_find_nearest(table, in);
+          ASSERT_EQ(fast.index, naive.index)
+              << "seed " << seed << " dims " << in_dims << " tsize " << tsize;
+          ASSERT_EQ(fast.distance, naive.distance);  // bitwise, not approximate
+        }
+      }
+    }
+  }
+}
+
+TEST(IactProperty, FindNearestTieBreaksToFirstEntryWithDuplicates) {
+  // Explicit duplicate-entry construction: several slots hold the exact
+  // probe value, so every candidate distance is identical (0.0) and only
+  // the first-strictly-nearer rule decides. The winner must be the lowest
+  // slot index, matching the naive ascending scan.
+  TableFixture fixture;
+  IactTable table = fixture.make(8, 3, 1);
+  const std::vector<double> dup{1.0, 2.0, 3.0};
+  const std::vector<double> other{5.0, 5.0, 5.0};
+  std::vector<double> out{0.0};
+  table.insert(other, out);
+  for (int f = 0; f < 4; ++f) table.insert(dup, out);
+  const IactTable::Match match = table.find_nearest(dup);
+  EXPECT_EQ(match.index, 1);  // slot 0 is `other`; first duplicate wins
+  EXPECT_EQ(match.distance, 0.0);
+  EXPECT_EQ(naive_find_nearest(table, dup).index, 1);
+}
+
+TEST(IactProperty, FindNearestMatchesNaiveAfterResetAndRefill) {
+  // The scan's no-validity-check fast path relies on valid entries always
+  // occupying the slot prefix; reset + refill is the sequence that would
+  // break it if that invariant ever regressed.
+  Xoshiro256 rng(99);
+  TableFixture fixture;
+  IactTable table = fixture.make(4, 2, 1);
+  std::vector<double> in(2);
+  std::vector<double> out{0.0};
+  for (int round = 0; round < 3; ++round) {
+    table.reset();
+    const int fills = 1 + static_cast<int>(rng.uniform_index(6));
+    for (int f = 0; f < fills; ++f) {
+      in[0] = rng.uniform(-2.0, 2.0);
+      in[1] = rng.uniform(-2.0, 2.0);
+      table.insert(in, out);
+    }
+    for (int probe = 0; probe < 32; ++probe) {
+      in[0] = rng.uniform(-2.0, 2.0);
+      in[1] = rng.uniform(-2.0, 2.0);
+      const IactTable::Match fast = table.find_nearest(in);
+      const IactTable::Match naive = naive_find_nearest(table, in);
+      ASSERT_EQ(fast.index, naive.index);
+      ASSERT_EQ(fast.distance, naive.distance);
+    }
+  }
 }

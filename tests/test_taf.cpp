@@ -229,3 +229,81 @@ TEST(Taf, RejectsUndersizedStorageSpan) {
   storage.assign(TafState::storage_doubles(3, 2), 0.0);
   EXPECT_NO_THROW(TafState(params, 2, storage));
 }
+
+// --- window_rsd golden baseline ---------------------------------------------
+//
+// ROADMAP plans an incremental (running-sum) RSD formulation, which would
+// change the floating-point summation order and therefore the bits. These
+// goldens pin the *current* behavior — two-pass mean/sigma per dimension,
+// summed in window *storage* order (ring positions, not insertion order),
+// sign-robust mean-|x| denominator, max across dimensions — so that
+// change arrives against an explicit byte-compat baseline instead of
+// silently shifting every TAF activation decision.
+
+TEST(TafGolden, RsdExactBitsPerWindowShape) {
+  {
+    std::vector<double> storage;
+    TafState taf = make_state({2, 1, 0.0}, 1, storage);
+    for (double x : {3.0, 4.5}) {
+      double v[1] = {x};
+      taf.record_accurate(v);
+    }
+    EXPECT_EQ(taf.window_rsd(), 0x1.999999999999ap-3);  // 0.20000000000000001
+  }
+  {
+    std::vector<double> storage;
+    TafState taf = make_state({3, 1, 0.0}, 1, storage);
+    for (double x : {0.1, 0.2, 0.30000000000000004}) {
+      double v[1] = {x};
+      taf.record_accurate(v);
+    }
+    EXPECT_EQ(taf.window_rsd(), 0x1.a20bd700c2c3ep-2);  // 0.40824829046386302
+  }
+  {
+    // Two output dimensions: dimension 0 (wildly varying) must win the
+    // max over dimension 1 (near-constant, negative — exercising the
+    // mean-|x| denominator on a same-sign negative window).
+    std::vector<double> storage;
+    TafState taf = make_state({4, 2, 0.0}, 2, storage);
+    const double rows[4][2] = {{1.0, -7.0}, {2.0, -7.5}, {4.0, -6.5}, {8.0, -7.25}};
+    for (const auto& row : rows) {
+      double v[2] = {row[0], row[1]};
+      taf.record_accurate(v);
+    }
+    EXPECT_EQ(taf.window_rsd(), 0x1.6e0a0a5e9fca2p-1);  // 0.7149203529842405
+  }
+}
+
+TEST(TafGolden, RsdSumsInStorageOrderAfterWraparound) {
+  // h=3 with threshold 0 (never stable): records 1e16, 1, -1e16 fill the
+  // ring, then 2.0 overwrites slot 0. Storage order is {2, 1, -1e16};
+  // insertion order would be {1, -1e16, 2}. Catastrophic cancellation
+  // makes the two orders differ by one ulp, so this test fails if the
+  // summation ever switches to insertion (or any other) order.
+  std::vector<double> storage;
+  TafState taf = make_state({3, 1, 0.0}, 1, storage);
+  for (double x : {1e16, 1.0, -1e16, 2.0}) {
+    double v[1] = {x};
+    taf.record_accurate(v);
+  }
+  EXPECT_EQ(taf.window_rsd(), 0x1.6a09e667f3bccp+0);  // 1.4142135623730949
+
+  // The same fold in both candidate orders, spelled out: the golden above
+  // is exactly the storage-order result and exactly one ulp away from the
+  // insertion-order result.
+  const auto rsd_over = [](std::initializer_list<double> vals) {
+    double sum = 0, abs_sum = 0;
+    int n = 0;
+    for (double v : vals) {
+      sum += v;
+      abs_sum += std::abs(v);
+      ++n;
+    }
+    const double mu = sum / n;
+    double sq = 0;
+    for (double v : vals) sq += (v - mu) * (v - mu);
+    return std::sqrt(sq / n) / (abs_sum / n);
+  };
+  EXPECT_EQ(taf.window_rsd(), rsd_over({2.0, 1.0, -1e16}));
+  EXPECT_NE(taf.window_rsd(), rsd_over({1.0, -1e16, 2.0}));
+}
