@@ -1,0 +1,120 @@
+// hpacd — the HPAC-Offload tuning daemon.
+//
+// Serves tuning queries over a Unix-domain socket against a persistent
+// result store: memoized tuples answer from an immutable store snapshot
+// without touching the scheduler, missing tuples are admitted (bounded,
+// per-connection fair) and evaluated on demand, with baselines cached per
+// (benchmark, device). Point it at an existing campaign CSV and it serves
+// everything the campaign already measured; every cold answer is appended
+// to the same journal, so the store only ever grows.
+//
+// Examples:
+//   hpacd --socket=/tmp/hpacd.sock --store=campaign.csv
+//   hpacd --socket=/tmp/hpacd.sock --store=campaign.csv --max-pending=16
+//
+// A client connects, sends framed queries (see src/service/protocol.hpp),
+// and may send a shutdown frame to stop the daemon gracefully; SIGINT and
+// SIGTERM stop it too.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "harness/result_store.hpp"
+#include "service/server.hpp"
+
+using namespace hpac;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH [--store=FILE] [--max-pending=N]\n"
+               "          [--threads=N]\n\n"
+               "--socket     Unix-domain socket to listen on (required)\n"
+               "--store      result CSV to serve and append to (default: in-memory)\n"
+               "--max-pending  admission bound for cold tuples (default 64)\n"
+               "--threads    worker bound for cold evaluations (default: hardware)\n",
+               argv0);
+  std::exit(2);
+}
+
+std::uint64_t parse_count(const char* flag, const std::string& value, bool allow_zero) {
+  long long parsed = 0;
+  if (!strings::parse_int(value, parsed) || parsed < 0 || (!allow_zero && parsed == 0)) {
+    std::fprintf(stderr, "error: %s needs a positive number, got \"%s\"\n", flag,
+                 value.c_str());
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+service::TuningServer* g_server = nullptr;
+
+void on_signal(int) {
+  // async-signal-safe enough for a demo daemon: stop() only touches our
+  // own synchronization, and the handler fires once per signal.
+  if (g_server != nullptr) g_server->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::TuningServer::Options options;
+  std::string store_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* key) -> std::optional<std::string> {
+      const std::string prefix = std::string(key) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = value("--socket")) options.socket_path = *v;
+    else if (auto v2 = value("--store")) store_path = *v2;
+    else if (auto v3 = value("--max-pending")) {
+      options.service.max_pending =
+          parse_count("--max-pending", *v3, /*allow_zero=*/false);
+    } else if (auto v4 = value("--threads")) {
+      options.service.num_threads = parse_count("--threads", *v4, /*allow_zero=*/true);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (options.socket_path.empty()) usage(argv[0]);
+
+  try {
+    harness::ResultStore store(store_path);
+    if (store.persistent()) {
+      std::printf("hpacd: store %s (%zu records restored, %zu duplicate rows dropped)\n",
+                  store.path().c_str(), store.load_stats().restored,
+                  store.load_stats().duplicates);
+    } else {
+      std::printf("hpacd: in-memory store (answers are not persisted)\n");
+    }
+    service::TuningServer server(store, options);
+    g_server = &server;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    server.start();
+    std::printf("hpacd: listening on %s\n", options.socket_path.c_str());
+    std::fflush(stdout);
+    server.wait();
+    server.stop();
+    const auto stats = server.service().stats();
+    std::printf("hpacd: served %llu queries (%llu memoized, %llu evaluated, "
+                "%llu coalesced, %llu rejected)\n",
+                static_cast<unsigned long long>(stats.queries),
+                static_cast<unsigned long long>(stats.memoized),
+                static_cast<unsigned long long>(stats.evaluated),
+                static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(stats.rejected));
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

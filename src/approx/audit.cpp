@@ -100,7 +100,7 @@ void ShardLog::record_read(const RegionBinding& binding, std::uint64_t item) {
 // --- LaunchAudit -------------------------------------------------------------
 
 LaunchAudit::LaunchAudit(const RegionBinding& binding, std::uint64_t n, std::size_t shards,
-                         bool differential)
+                         bool differential, ExtentImageCache* cache)
     : binding_(&binding),
       name_(binding.name.empty() ? std::string("<unnamed>") : binding.name),
       differential_(differential) {
@@ -116,15 +116,60 @@ LaunchAudit::LaunchAudit(const RegionBinding& binding, std::uint64_t n, std::siz
 
   if (!differential_) return;
 
+  // Cheap path first: a previous launch of this (binding, n) pair may have
+  // walk-validated the affine extent shape, in which case three endpoint
+  // probes replace the O(n) walk below.
+  if (cache != nullptr && cache->lookup(binding, n, exclusive_extents_, all_extents_)) {
+    pre_ = take_snapshot();
+    return;
+  }
+
   // Union of every item's declared intervals: the byte image the
   // differential re-run must be able to save, restore and compare. The
   // walk costs one extent callback per item — audit-mode only, and cheap
   // address arithmetic inside.
   std::vector<Entry> exclusive;
   std::vector<Entry> commuting;
+  // Fit the affine model alongside the walk so this full-price launch can
+  // seed the cache. Item 0 fixes bases and lengths, item 1 fixes strides,
+  // every further item only verifies — one comparison per logged entry.
+  std::optional<ExtentImageCache::Shape> shape;
+  if (cache != nullptr) shape.emplace();
+  const auto fit_channel = [](std::vector<ExtentImageCache::AffineEntry>& model,
+                              const std::vector<Entry>& log, std::size_t from,
+                              std::uint64_t item) {
+    const std::size_t count = log.size() - from;
+    if (item == 0) {
+      model.reserve(count);
+      for (std::size_t k = 0; k < count; ++k) {
+        const Entry& e = log[from + k];
+        model.push_back(ExtentImageCache::AffineEntry{
+            e.begin, 0, static_cast<std::size_t>(e.end - e.begin)});
+      }
+      return true;
+    }
+    if (count != model.size()) return false;
+    for (std::size_t k = 0; k < count; ++k) {
+      const Entry& e = log[from + k];
+      ExtentImageCache::AffineEntry& m = model[k];
+      if (static_cast<std::size_t>(e.end - e.begin) != m.len) return false;
+      if (item == 1) {
+        m.stride = e.begin - m.base;  // wrapping arithmetic: any direction
+      } else if (e.begin != m.base + static_cast<std::uintptr_t>(item) * m.stride) {
+        return false;
+      }
+    }
+    return true;
+  };
   for (std::uint64_t item = 0; item < n; ++item) {
+    const std::size_t exclusive_from = exclusive.size();
+    const std::size_t commuting_from = commuting.size();
     ExtentSink sink(&exclusive, &commuting, nullptr, item);
     binding.commit_extents(item, sink);
+    if (shape && !(fit_channel(shape->exclusive, exclusive, exclusive_from, item) &&
+                   fit_channel(shape->commuting, commuting, commuting_from, item))) {
+      shape.reset();  // not affine: keep walking, skip caching
+    }
   }
   const auto merge = [](std::vector<Entry> entries) {
     std::vector<Interval> merged;
@@ -141,7 +186,106 @@ LaunchAudit::LaunchAudit(const RegionBinding& binding, std::uint64_t n, std::siz
   exclusive_extents_ = merge(exclusive);
   exclusive.insert(exclusive.end(), commuting.begin(), commuting.end());
   all_extents_ = merge(std::move(exclusive));
+  if (cache != nullptr) {
+    cache->store(binding, n, std::move(shape), exclusive_extents_, all_extents_);
+  }
   pre_ = take_snapshot();
+}
+
+// --- ExtentImageCache --------------------------------------------------------
+
+bool ExtentImageCache::lookup(const RegionBinding& binding, std::uint64_t n,
+                              std::vector<ByteInterval>& exclusive_extents,
+                              std::vector<ByteInterval>& all_extents) {
+  // Probe outside the lock — the extent callbacks are application code.
+  const auto probe = [&binding](std::uint64_t item) {
+    std::pair<std::vector<ExtentSink::Entry>, std::vector<ExtentSink::Entry>> channels;
+    ExtentSink sink(&channels.first, &channels.second, nullptr, item);
+    binding.commit_extents(item, sink);
+    return channels;
+  };
+  const auto fix_strides = [](std::vector<AffineEntry>& model,
+                              const std::vector<ExtentSink::Entry>& entries) {
+    if (entries.size() != model.size()) return false;
+    for (std::size_t k = 0; k < model.size(); ++k) {
+      if (static_cast<std::size_t>(entries[k].end - entries[k].begin) != model[k].len) {
+        return false;
+      }
+      model[k].stride = entries[k].begin - model[k].base;
+    }
+    return true;
+  };
+  const auto check_item = [](const std::vector<AffineEntry>& model,
+                             const std::vector<ExtentSink::Entry>& entries,
+                             std::uint64_t item) {
+    if (entries.size() != model.size()) return false;
+    for (std::size_t k = 0; k < model.size(); ++k) {
+      if (static_cast<std::size_t>(entries[k].end - entries[k].begin) != model[k].len ||
+          entries[k].begin !=
+              model[k].base + static_cast<std::uintptr_t>(item) * model[k].stride) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  Shape shape;
+  {
+    const auto first = probe(0);
+    for (const ExtentSink::Entry& e : first.first) {
+      shape.exclusive.push_back(
+          AffineEntry{e.begin, 0, static_cast<std::size_t>(e.end - e.begin)});
+    }
+    for (const ExtentSink::Entry& e : first.second) {
+      shape.commuting.push_back(
+          AffineEntry{e.begin, 0, static_cast<std::size_t>(e.end - e.begin)});
+    }
+  }
+  if (n > 1) {
+    const auto second = probe(1);
+    if (!fix_strides(shape.exclusive, second.first) ||
+        !fix_strides(shape.commuting, second.second)) {
+      return false;
+    }
+  }
+  if (n > 2) {
+    const auto last = probe(n - 1);
+    if (!check_item(shape.exclusive, last.first, n - 1) ||
+        !check_item(shape.commuting, last.second, n - 1)) {
+      return false;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = variants_.find(Key{&binding, n});
+  if (it == variants_.end()) return false;
+  for (const Variant& variant : it->second) {
+    if (variant.shape == shape) {
+      exclusive_extents = variant.exclusive_extents;
+      all_extents = variant.all_extents;
+      ++stats_.hits;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ExtentImageCache::store(const RegionBinding& binding, std::uint64_t n,
+                             std::optional<Shape> shape,
+                             const std::vector<ByteInterval>& exclusive_extents,
+                             const std::vector<ByteInterval>& all_extents) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  if (!shape) {
+    ++stats_.non_affine;
+    return;
+  }
+  std::vector<Variant>& variants = variants_[Key{&binding, n}];
+  for (const Variant& variant : variants) {
+    if (variant.shape == *shape) return;  // raced with an identical walk
+  }
+  if (variants.size() >= kMaxVariants) variants.erase(variants.begin());
+  variants.push_back(Variant{std::move(*shape), exclusive_extents, all_extents});
 }
 
 void LaunchAudit::add_conflict(ConflictReport::Kind kind, std::uint64_t item_a,

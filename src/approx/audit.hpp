@@ -2,9 +2,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace hpac::approx {
@@ -92,6 +95,7 @@ class ExtentSink {
  private:
   friend class ShardLog;
   friend class LaunchAudit;
+  friend class ExtentImageCache;
 
   ExtentSink(std::vector<Entry>* writes, std::vector<Entry>* commuting,
              std::vector<Entry>* reads, std::uint64_t item)
@@ -129,6 +133,88 @@ class Snapshot {
   std::vector<unsigned char> bytes_;
 };
 
+/// A merged contiguous byte range of audited memory.
+struct ByteInterval {
+  std::uintptr_t begin = 0;
+  std::uintptr_t end = 0;
+};
+
+/// Memoizes the merged extent image a differential audit builds by walking
+/// every item through `commit_extents` — the dominant audit cost in a
+/// sweep, where the same binding launches hundreds of times with identical
+/// extents. The first differential launch of a (binding, n) pair still
+/// pays the full walk; while walking, the cache fits the *affine model*
+/// (entry k of item i lives at `base_k + i * stride_k` with a constant
+/// length — every `bind_row_commit_extents`-style binding). Later launches
+/// probe only items {0, 1, n-1}: when the probes reproduce a previously
+/// walk-validated shape, the cached merged intervals are reused and the
+/// O(n) walk is skipped entirely. The probe includes the base addresses,
+/// so a binding that commits into a different buffer each launch (ping-pong
+/// stencils) simply occupies one variant slot per buffer. Non-affine
+/// bindings are rebuilt exactly, per launch, as before.
+///
+/// Thread-safe; owned by the RegionExecutor (one cache per executor, so
+/// binding addresses — the cache key — cannot collide across executors
+/// whose bindings' lifetimes overlap).
+class ExtentImageCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;        ///< walks skipped (probe matched a variant)
+    std::uint64_t misses = 0;      ///< full walks performed
+    std::uint64_t non_affine = 0;  ///< walks whose pattern was not cacheable
+  };
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  /// Variants retained per (binding, n) key — enough for a ping-pong pair
+  /// plus slack; the oldest variant is evicted beyond this.
+  static constexpr std::size_t kMaxVariants = 4;
+
+ private:
+  friend class LaunchAudit;
+
+  /// One extent-callback entry under the affine model. `stride` is the
+  /// per-item displacement in wrapping address arithmetic, so "negative"
+  /// strides work unchanged.
+  struct AffineEntry {
+    std::uintptr_t base = 0;
+    std::uintptr_t stride = 0;
+    std::size_t len = 0;
+    bool operator==(const AffineEntry&) const = default;
+  };
+  struct Shape {
+    std::vector<AffineEntry> exclusive;
+    std::vector<AffineEntry> commuting;
+    bool operator==(const Shape&) const = default;
+  };
+  struct Variant {
+    Shape shape;
+    std::vector<ByteInterval> exclusive_extents;
+    std::vector<ByteInterval> all_extents;
+  };
+  using Key = std::pair<const void*, std::uint64_t>;  ///< (binding, n)
+
+  /// Probe items {0, 1, n-1} and, on a shape match against a stored
+  /// variant, fill the interval vectors and return true.
+  bool lookup(const RegionBinding& binding, std::uint64_t n,
+              std::vector<ByteInterval>& exclusive_extents,
+              std::vector<ByteInterval>& all_extents);
+
+  /// Record a walk-validated shape (missing shape = non-affine, counted
+  /// but not stored).
+  void store(const RegionBinding& binding, std::uint64_t n,
+             std::optional<Shape> shape,
+             const std::vector<ByteInterval>& exclusive_extents,
+             const std::vector<ByteInterval>& all_extents);
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::vector<Variant>> variants_;
+  Stats stats_;
+};
+
 /// Drives the audit of one region launch. Constructed before the launch
 /// executes (so the differential pre-image is the true initial state),
 /// handed one ShardLog per executor shard, and asked to `analyze()` after
@@ -138,9 +224,12 @@ class LaunchAudit {
  public:
   /// `shards` is the launch's host-shard count (>= 1). When `differential`
   /// is set the constructor walks items [0, n) through `commit_extents`
-  /// to build the union of declared intervals and snapshots its bytes.
+  /// to build the union of declared intervals and snapshots its bytes —
+  /// unless `cache` (optional) serves the merged image from a previous
+  /// walk of the same (binding, n) shape, in which case only items
+  /// {0, 1, n-1} are probed.
   LaunchAudit(const RegionBinding& binding, std::uint64_t n, std::size_t shards,
-              bool differential);
+              bool differential, ExtentImageCache* cache = nullptr);
 
   /// False when the binding lacks `commit_extents`: no logging happens and
   /// `analyze()` yields a single kMissingExtents report instead.
@@ -183,10 +272,7 @@ class LaunchAudit {
   static constexpr std::uint64_t kDifferentialShards = 4;
 
  private:
-  struct Interval {
-    std::uintptr_t begin = 0;
-    std::uintptr_t end = 0;
-  };
+  using Interval = ByteInterval;
 
   void add_conflict(ConflictReport::Kind kind, std::uint64_t item_a, std::uint64_t item_b,
                     std::uintptr_t begin, std::uintptr_t end);

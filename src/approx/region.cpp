@@ -875,7 +875,8 @@ RegionReport RegionExecutor::run_impl(const pragma::ApproxSpec& spec,
   // raced on. Fully inert when audit_mode == kOff: not even constructed.
   std::optional<audit::LaunchAudit> auditor;
   if (tuning_.audit_mode != audit::AuditMode::kOff && binding.independent_items && n > 0) {
-    auditor.emplace(binding, n, shards, tuning_.audit_differential);
+    auditor.emplace(binding, n, shards, tuning_.audit_differential,
+                    tuning_.audit_extent_cache ? &audit_extent_cache_ : nullptr);
     if (auditor->missing_extents() && tuning_.audit_mode == audit::AuditMode::kEnforce) {
       throw ConfigError(std::string(audit::kConflictToken) + " audit: binding '" +
                         auditor->binding_name() +

@@ -228,6 +228,11 @@ struct ExecTuning {
   /// see. Roughly doubles the cost of audited launches; application
   /// state is restored afterwards, so results are unchanged.
   bool audit_differential = false;
+  /// Memoize the merged extent image differential audits build (see
+  /// `audit::ExtentImageCache`): repeated launches of the same (binding,
+  /// n) pair probe three items instead of walking all of them. Off →
+  /// every audited launch rebuilds its image exactly as before.
+  bool audit_extent_cache = true;
 };
 
 /// Executes an annotated region over a 1-D iteration space on the
@@ -303,6 +308,12 @@ class RegionExecutor {
   /// afterwards (the registry apps build their own) runs audited.
   static void set_default_audit(audit::AuditMode mode, bool differential = true);
 
+  /// Extent-image memoization counters of this executor's differential
+  /// audits (hits = O(n) walks skipped).
+  audit::ExtentImageCache::Stats audit_cache_stats() const {
+    return audit_extent_cache_.stats();
+  }
+
  private:
   RegionReport run_impl(const pragma::ApproxSpec& spec, const RegionBinding& binding,
                         std::uint64_t n, const sim::LaunchConfig& launch,
@@ -312,6 +323,9 @@ class RegionExecutor {
   Replacement replacement_;
   RuntimeCosts costs_;
   ExecTuning tuning_;
+  /// Mutable because `run()` is const (launching does not change what the
+  /// executor computes) while the cache learns shapes as launches go by.
+  mutable audit::ExtentImageCache audit_extent_cache_;
 };
 
 }  // namespace hpac::approx

@@ -114,6 +114,28 @@ harness::RunOutput Leukocyte::run(const pragma::ApproxSpec& spec,
   // `next` is captured by reference: the helper resolves the live buffer
   // at audit time, so the swap between launches keeps extents truthful.
   bind_row_commit_extents(imgvf, next, 1);
+  // The 5-point stencil reads the *previous* field (ping-ponged, hence the
+  // reference capture) plus the pixel's image value — all disjoint from
+  // the `next` rows this launch writes, which the auditor's read/write
+  // overlap check can now verify instead of taking on faith.
+  imgvf.read_extents = [this, s, &field, decode](std::uint64_t item,
+                                                 approx::audit::ExtentSink& sink) {
+    const auto [cell, i, j] = decode(item);
+    const auto point = [&](int row, int col) {
+      row = std::clamp(row, 0, s - 1);
+      col = std::clamp(col, 0, s - 1);
+      const std::size_t index =
+          (static_cast<std::size_t>(cell) * s + static_cast<std::size_t>(row)) * s +
+          static_cast<std::size_t>(col);
+      sink.reads(field.data() + index, sizeof(double));
+    };
+    sink.reads(image_.data() + item, sizeof(double));
+    point(i, j);
+    point(i - 1, j);
+    point(i + 1, j);
+    point(i, j - 1);
+    point(i, j + 1);
+  };
 
   const sim::LaunchConfig launch =
       sim::launch_for_items_per_thread(n, items_per_thread, threads_per_team());

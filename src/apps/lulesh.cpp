@@ -73,6 +73,15 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   bind_commit(hourglass_control, [&](std::uint64_t j, const double* out) { q[j] = out[0]; });
   hourglass_control.independent_items = true;  // writes only q[j]
   bind_row_commit_extents(hourglass_control, q, 1);
+  // Element j reads its own state plus the u[j], u[j+1] node pair — the
+  // stencil that makes this worth declaring: u is not written here, so
+  // the cross-item overlap on u[j+1] is read/read and audits clean.
+  hourglass_control.read_extents = [&](std::uint64_t j, approx::audit::ExtentSink& sink) {
+    sink.reads(rho.data() + j, sizeof(double));
+    sink.reads(e.data() + j, sizeof(double));
+    sink.reads(p.data() + j, sizeof(double));
+    sink.reads(u.data() + j, 2 * sizeof(double));
+  };
 
   // --- kernel 2: CalcFBHourglassForceForElems (approximated) -------------
   approx::RegionBinding fb_hourglass;
@@ -97,6 +106,12 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
   bind_commit(fb_hourglass, [&](std::uint64_t j, const double* out) { sigma[j] = out[0]; });
   fb_hourglass.independent_items = true;  // writes only sigma[j]
   bind_row_commit_extents(fb_hourglass, sigma, 1);
+  fb_hourglass.read_extents = [&](std::uint64_t j, approx::audit::ExtentSink& sink) {
+    sink.reads(p.data() + j, sizeof(double));
+    sink.reads(q.data() + j, sizeof(double));
+    sink.reads(rho.data() + j, sizeof(double));
+    sink.reads(u.data() + j, 2 * sizeof(double));  // u[j], u[j+1]
+  };
 
   // --- kernel 3: node update (accurate) -----------------------------------
   double dt = 1e-6;
@@ -132,6 +147,15 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
     sink.writes(u.data() + i, sizeof(double));
     sink.writes(x.data() + i, sizeof(double));
   };
+  // Node i reads the two adjacent element stresses (sigma is not written
+  // by this launch) and its own u/x — the same-item overlap with the
+  // writes above is exempt from the read/write check by construction.
+  node_update.read_extents = [&, n](std::uint64_t i, approx::audit::ExtentSink& sink) {
+    sink.reads(u.data() + i, sizeof(double));
+    sink.reads(x.data() + i, sizeof(double));
+    if (i > 0) sink.reads(sigma.data() + (i - 1), sizeof(double));
+    if (i < n) sink.reads(sigma.data() + i, sizeof(double));
+  };
 
   // --- kernel 4: element update, EOS (accurate) ---------------------------
   approx::RegionBinding elem_update;
@@ -166,6 +190,15 @@ harness::RunOutput Lulesh::run(const pragma::ApproxSpec& spec, std::uint64_t ite
     sink.writes(rho.data() + j, sizeof(double));
     sink.writes(volume.data() + j, sizeof(double));
     sink.writes(p.data() + j, sizeof(double));
+  };
+  // Element j reads the x[j], x[j+1] node pair (not written here) and its
+  // own element fields; q is read-only in this launch.
+  elem_update.read_extents = [&](std::uint64_t j, approx::audit::ExtentSink& sink) {
+    sink.reads(x.data() + j, 2 * sizeof(double));
+    sink.reads(volume.data() + j, sizeof(double));
+    sink.reads(e.data() + j, sizeof(double));
+    sink.reads(p.data() + j, sizeof(double));
+    sink.reads(q.data() + j, sizeof(double));
   };
 
   const sim::LaunchConfig approx_launch =

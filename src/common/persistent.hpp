@@ -1,0 +1,308 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpac::common {
+
+/// Structurally-shared immutable containers — the snapshot substrate of
+/// `harness::ResultStore`. A writer produces a new value per mutation; the
+/// old value stays fully usable and shares all untouched structure with
+/// the new one, so publishing a snapshot is a pointer store and holding
+/// one costs O(changed nodes), not O(container). Neither type has any
+/// internal synchronization: immutability *is* the thread-safety story
+/// (concurrent readers of the same value, or of different versions, never
+/// race; handing a value between threads is a shared_ptr copy).
+
+/// Persistent vector in the bit-partitioned-trie idiom (Clojure/immer):
+/// 32-way branching interior nodes over leaf chunks of 32 elements, plus
+/// an immutable shared tail for the last partial chunk. `push_back` copies
+/// one root-to-leaf path (log32 n nodes) or just the tail (< 32 elements);
+/// everything else is shared with the previous version. Random access is
+/// O(log32 n) pointer hops; copying a vector value is two shared_ptr
+/// copies.
+template <typename T>
+class PersistentVector {
+ public:
+  PersistentVector() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](std::size_t index) const {
+    HPAC_REQUIRE(index < size_, "PersistentVector index out of range");
+    if (index >= tail_offset()) return (*tail_)[index - tail_offset()];
+    const Node* node = root_.get();
+    for (std::uint32_t level = shift_; level > 0; level -= kBits) {
+      node = node->children[(index >> level) & kMask].get();
+    }
+    return node->leaf[index & kMask];
+  }
+
+  /// The vector with `value` appended. O(32) element copies worst case
+  /// (rebuilding the shared tail), plus O(log32 n) node copies when the
+  /// full tail spills into the trie.
+  PersistentVector push_back(T value) const {
+    PersistentVector next(*this);
+    if (!tail_ || tail_->size() < kWidth) {
+      // Room in the tail: copy-on-append of the partial chunk.
+      auto tail = tail_ ? std::make_shared<Tail>(*tail_) : std::make_shared<Tail>();
+      tail->push_back(std::move(value));
+      next.tail_ = std::move(tail);
+      ++next.size_;
+      return next;
+    }
+    // Tail is full: link it into the trie as a leaf, start a fresh tail.
+    auto leaf = std::make_shared<Node>();
+    leaf->leaf = *tail_;
+    const std::size_t trie_size = tail_offset();
+    if (!root_) {
+      next.root_ = std::move(leaf);
+      next.shift_ = 0;
+    } else if (trie_size == (std::size_t{kWidth} << shift_)) {
+      // Root is full: grow a level.
+      auto root = std::make_shared<Node>();
+      root->children[0] = root_;
+      root->children[1] = path_to(std::move(leaf), shift_);
+      next.root_ = std::move(root);
+      next.shift_ = shift_ + kBits;
+    } else {
+      next.root_ = push_leaf(*root_, shift_, trie_size, std::move(leaf));
+    }
+    auto tail = std::make_shared<Tail>();
+    tail->push_back(std::move(value));
+    next.tail_ = std::move(tail);
+    ++next.size_;
+    return next;
+  }
+
+  /// Visit every element in index order. Walks the trie directly, so a
+  /// full scan costs O(n), not O(n log n) repeated indexing.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (root_) walk(*root_, shift_, fn);
+    if (tail_) {
+      for (const T& value : *tail_) fn(value);
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kBits = 5;
+  static constexpr std::uint32_t kWidth = 1u << kBits;  // 32
+  static constexpr std::uint32_t kMask = kWidth - 1;
+
+  /// Interior nodes use `children` (filled left to right); leaf nodes use
+  /// `leaf` (exactly 32 elements once linked). A node is immutable after
+  /// it is reachable from any vector value, so both kinds share freely.
+  struct Node {
+    std::array<std::shared_ptr<const Node>, kWidth> children;
+    std::vector<T> leaf;
+  };
+  using Tail = std::vector<T>;
+
+  std::size_t tail_offset() const { return size_ - (tail_ ? tail_->size() : 0); }
+
+  /// A chain of `levels / kBits` single-child interior nodes down to `leaf`.
+  static std::shared_ptr<const Node> path_to(std::shared_ptr<const Node> leaf,
+                                             std::uint32_t levels) {
+    for (std::uint32_t level = 0; level < levels; level += kBits) {
+      auto node = std::make_shared<Node>();
+      node->children[0] = std::move(leaf);
+      leaf = std::move(node);
+    }
+    return leaf;
+  }
+
+  /// Re-link the root-to-leaf path so that `leaf` sits at element index
+  /// `index` (the trie's current size); every node off the path is shared.
+  static std::shared_ptr<const Node> push_leaf(const Node& node, std::uint32_t shift,
+                                               std::size_t index,
+                                               std::shared_ptr<const Node> leaf) {
+    auto copy = std::make_shared<Node>(node);
+    const std::size_t slot = (index >> shift) & kMask;
+    if (shift == kBits) {
+      copy->children[slot] = std::move(leaf);
+    } else if (const auto& child = copy->children[slot]) {
+      copy->children[slot] = push_leaf(*child, shift - kBits, index, std::move(leaf));
+    } else {
+      copy->children[slot] = path_to(std::move(leaf), shift - kBits);
+    }
+    return copy;
+  }
+
+  template <typename Fn>
+  static void walk(const Node& node, std::uint32_t shift, Fn& fn) {
+    if (shift == 0) {
+      for (const T& value : node.leaf) fn(value);
+      return;
+    }
+    for (const auto& child : node.children) {
+      if (!child) break;  // children fill left-to-right
+      walk(*child, shift - kBits, fn);
+    }
+  }
+
+  std::shared_ptr<const Node> root_;
+  std::shared_ptr<const Tail> tail_;
+  std::uint32_t shift_ = 0;  ///< bit shift of the root level
+  std::size_t size_ = 0;
+};
+
+/// Persistent hash map in the hash-array-mapped-trie idiom: interior nodes
+/// hold a 32-slot bitmap over 5-bit hash chunks and store only occupied
+/// slots; `set` copies the root-to-leaf path, `find` walks it. Keys whose
+/// full hash collides fall back to a small scanned array at the deepest
+/// level.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class PersistentMap {
+ public:
+  PersistentMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pointer to the value for `key`, or nullptr. The pointee lives as long
+  /// as any version containing it — snapshots may hold the pointer.
+  const V* find(const K& key) const {
+    const Node* node = root_.get();
+    if (node == nullptr) return nullptr;
+    const std::size_t hash = Hash{}(key);
+    for (std::uint32_t level = 0;; level += kBits) {
+      if (node->collisions) {
+        for (const Entry& entry : node->entries) {
+          if (entry.key == key) return &entry.value;
+        }
+        return nullptr;
+      }
+      const std::uint32_t bit = 1u << ((hash >> level) & kMask);
+      if (!(node->bitmap & bit)) return nullptr;
+      const std::size_t slot = node->slot_of(bit);
+      if (node->children[slot]) {
+        node = node->children[slot].get();
+        continue;
+      }
+      const Entry& entry = node->entries[slot];
+      return entry.key == key ? &entry.value : nullptr;
+    }
+  }
+
+  bool contains(const K& key) const { return find(key) != nullptr; }
+
+  /// The map with `key` bound to `value` (inserting or replacing).
+  PersistentMap set(K key, V value) const {
+    PersistentMap next(*this);
+    bool added = false;
+    const std::size_t hash = Hash{}(key);
+    if (!root_) {
+      auto node = std::make_shared<Node>();
+      node->insert_single(0, hash, std::move(key), std::move(value));
+      next.root_ = std::move(node);
+      added = true;
+    } else {
+      next.root_ = set_in(*root_, 0, hash, std::move(key), std::move(value), added);
+    }
+    next.size_ = size_ + (added ? 1 : 0);
+    return next;
+  }
+
+ private:
+  static constexpr std::uint32_t kBits = 5;
+  static constexpr std::uint32_t kMask = (1u << kBits) - 1;
+  /// Hash bits are consumed kBits at a time; a node at this level has no
+  /// bits left to branch on and scans a collision array instead.
+  static constexpr std::uint32_t kMaxLevel = kBits * ((sizeof(std::size_t) * 8) / kBits);
+
+  struct Entry {
+    K key;
+    V value{};
+  };
+
+  /// Occupied slots only: `entries[i]` / `children[i]` belong to the i-th
+  /// set bit of `bitmap`. A slot is either a direct entry (null child) or
+  /// a subtree (entry unused). Collision nodes scan `entries` linearly.
+  struct Node {
+    std::uint32_t bitmap = 0;
+    bool collisions = false;
+    std::vector<Entry> entries;
+    std::vector<std::shared_ptr<const Node>> children;
+
+    std::size_t slot_of(std::uint32_t bit) const {
+      return static_cast<std::size_t>(__builtin_popcount(bitmap & (bit - 1)));
+    }
+
+    /// Seed an empty node with its first entry (collision form past the
+    /// last hash level, single-slot bitmap form otherwise).
+    void insert_single(std::uint32_t level, std::size_t hash, K key, V value) {
+      if (level >= kMaxLevel) {
+        collisions = true;
+        entries.push_back(Entry{std::move(key), std::move(value)});
+        return;
+      }
+      bitmap = 1u << ((hash >> level) & kMask);
+      entries.push_back(Entry{std::move(key), std::move(value)});
+      children.push_back(nullptr);
+    }
+  };
+
+  static std::shared_ptr<const Node> set_in(const Node& node, std::uint32_t level,
+                                            std::size_t hash, K key, V value,
+                                            bool& added) {
+    auto copy = std::make_shared<Node>(node);
+    if (node.collisions) {
+      for (Entry& entry : copy->entries) {
+        if (entry.key == key) {
+          entry.value = std::move(value);
+          return copy;
+        }
+      }
+      copy->entries.push_back(Entry{std::move(key), std::move(value)});
+      added = true;
+      return copy;
+    }
+    const std::uint32_t bit = 1u << ((hash >> level) & kMask);
+    const std::size_t slot = copy->slot_of(bit);
+    if (!(copy->bitmap & bit)) {
+      copy->bitmap |= bit;
+      copy->entries.insert(copy->entries.begin() + static_cast<std::ptrdiff_t>(slot),
+                           Entry{std::move(key), std::move(value)});
+      copy->children.insert(copy->children.begin() + static_cast<std::ptrdiff_t>(slot),
+                            nullptr);
+      added = true;
+      return copy;
+    }
+    if (copy->children[slot]) {
+      copy->children[slot] = set_in(*copy->children[slot], level + kBits, hash,
+                                    std::move(key), std::move(value), added);
+      return copy;
+    }
+    Entry& existing = copy->entries[slot];
+    if (existing.key == key) {
+      existing.value = std::move(value);
+      return copy;
+    }
+    // Two distinct keys in one slot: demote the resident entry one level
+    // and insert the new key into the fresh subtree. The hash must be
+    // taken before the key is moved into the call (argument evaluation
+    // order is unspecified).
+    const std::size_t existing_hash = Hash{}(existing.key);
+    auto child = std::make_shared<Node>();
+    child->insert_single(level + kBits, existing_hash, std::move(existing.key),
+                         std::move(existing.value));
+    copy->children[slot] = set_in(*child, level + kBits, hash, std::move(key),
+                                  std::move(value), added);
+    existing = Entry{};  // slot is a subtree now; keep the layout aligned
+    return copy;
+  }
+
+  std::shared_ptr<const Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hpac::common

@@ -1,7 +1,5 @@
 #include "harness/campaign.hpp"
 
-#include <cstdio>
-#include <fstream>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -26,11 +24,6 @@ std::vector<pragma::ApproxSpec> curated_specs_for(const sim::DeviceConfig& devic
   }
   for (auto& s : curated_perfo_specs()) specs.push_back(std::move(s));
   return specs;
-}
-
-bool file_has_content(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  return in.good() && in.peek() != std::char_traits<char>::eof();
 }
 
 }  // namespace
@@ -98,44 +91,43 @@ Campaign::Campaign(CampaignPlan plan) : plan_(std::move(plan)) {
 }
 
 CampaignResult Campaign::run() {
+  // The store re-creates the historical checkpoint behavior exactly:
+  // absorb any existing journal (torn tail dropped), append-mode flushed
+  // rows while running, canonical-order atomic rewrite at the end — the
+  // final CSV is byte-identical to the pre-ResultStore campaign's.
+  ResultStore store(plan_.output_path);
+  CampaignResult result = run(store);
+  store.finalize(result.db);
+  return result;
+}
+
+CampaignResult Campaign::run(ResultStore& store) {
   CampaignResult result;
   result.planned = keys_.size();
   std::vector<RunRecord> records(keys_.size());
   std::vector<char> done(keys_.size(), 0);
 
-  // --- resume: absorb any checkpoint the output path already holds ---
-  const bool persist = !plan_.output_path.empty();
-  const bool resuming = persist && file_has_content(plan_.output_path);
-  if (resuming) {
+  // --- resume: absorb every plan tuple the store already holds ---
+  // Duplicate journal rows were already dropped by the store's load (it
+  // indexes the first occurrence per tuple); they count as stale exactly
+  // like rows that are not part of this plan.
+  result.stale = store.load_stats().duplicates;
+  const ResultStore::Snapshot checkpoint = store.snapshot();
+  if (!checkpoint.empty()) {
     std::unordered_map<std::string, std::size_t> index_of;
     index_of.reserve(keys_.size());
     for (std::size_t i = 0; i < keys_.size(); ++i) index_of.emplace(keys_[i], i);
-    // drop_torn_tail: a writer killed mid-append must not brick resume.
-    const ResultDb checkpoint = ResultDb::load(plan_.output_path, /*drop_torn_tail=*/true);
-    for (const auto& r : checkpoint.records()) {
+    checkpoint.for_each([&](const RunRecord& r) {
       const auto it =
           index_of.find(tuple_key(r.benchmark, r.device, r.spec_text, r.items_per_thread));
-      if (it == index_of.end() || done[it->second]) {
-        ++result.stale;  // not part of this plan (or a duplicate journal row)
-        continue;
+      if (it == index_of.end()) {
+        ++result.stale;  // not part of this plan
+        return;
       }
       records[it->second] = r;
       done[it->second] = 1;
       ++result.restored;
-    }
-  }
-
-  // --- journal: append-mode checkpoint, one flushed row per record ---
-  std::ofstream journal;
-  if (persist) {
-    journal.open(plan_.output_path, std::ios::app);
-    HPAC_REQUIRE(journal.good(), "cannot open campaign output: " + plan_.output_path);
-    if (!resuming) {
-      // An empty table writes exactly the header line, guaranteeing the
-      // journal and the final canonical rewrite share one format.
-      CsvTable(RunRecord::csv_columns()).write(journal);
-      journal.flush();
-    }
+    });
   }
 
   // Shards that still have work; fully restored pairs never rebuild their
@@ -173,10 +165,10 @@ CampaignResult Campaign::run() {
         std::lock_guard<std::mutex> lock(mutex);
         records[index] = record;
         done[index] = 1;
-        if (persist) {
-          write_csv_row(journal, record.to_row());
-          journal.flush();
-        }
+        // The store flushes the journal row before publishing, so by the
+        // time on_record (or any store reader) sees the record it is
+        // already durable.
+        store.append(record);
         ++result.evaluated;
       }
       if (plan_.on_record) {
@@ -196,7 +188,7 @@ CampaignResult Campaign::run() {
         /*max_participants=*/workers);
   }
 
-  // --- canonical assembly and atomic final rewrite ---
+  // --- canonical assembly (plan order, independent of worker count) ---
   for (auto& record : records) {
     result.feasible += record.feasible ? 1 : 0;
     // Both audit surfaces embed audit::kConflictToken: report-mode notes
@@ -206,13 +198,6 @@ CampaignResult Campaign::run() {
       ++result.audit_flagged;
     }
     result.db.add(std::move(record));
-  }
-  if (persist) {
-    journal.close();
-    const std::string tmp = plan_.output_path + ".tmp";
-    result.db.save(tmp);
-    HPAC_REQUIRE(std::rename(tmp.c_str(), plan_.output_path.c_str()) == 0,
-                 "cannot replace campaign output: " + plan_.output_path);
   }
   return result;
 }

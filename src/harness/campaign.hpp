@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "harness/record.hpp"
+#include "harness/result_store.hpp"
 #include "pragma/spec.hpp"
 #include "sim/device.hpp"
 
@@ -87,10 +88,21 @@ class Campaign {
   /// before any evaluation work.
   explicit Campaign(CampaignPlan plan);
 
-  /// Execute (or resume) the campaign. Propagates the first exception a
-  /// shard raises after in-flight shards drain; the checkpoint then holds
-  /// every record completed before the failure.
+  /// Execute (or resume) the campaign against a private ResultStore on
+  /// `plan.output_path`, then finalize it (canonical-order rewrite of the
+  /// journal). Propagates the first exception a shard raises after
+  /// in-flight shards drain; the checkpoint then holds every record
+  /// completed before the failure.
   CampaignResult run();
+
+  /// Execute (or resume) against a caller-owned store — the serving path:
+  /// a daemon can point readers at `store` while the campaign writes, and
+  /// every completed tuple is visible to `store.snapshot()` the moment its
+  /// journal row is flushed. Restores any plan tuples the store already
+  /// holds instead of re-evaluating them. Does NOT finalize: the journal
+  /// stays in append order and the store stays writable (call
+  /// `store.finalize(result.db)` for the canonical file).
+  CampaignResult run(ResultStore& store);
 
   /// The canonical (benchmark, device, spec, items-per-thread) identity of
   /// a tuple — the key resume matches checkpoint rows against.

@@ -84,12 +84,11 @@ RunRecord Explorer::run_config(const pragma::ApproxSpec& spec,
   return record;
 }
 
-std::size_t Explorer::sweep(const std::vector<pragma::ApproxSpec>& specs,
-                            const std::vector<std::uint64_t>& items_per_thread,
-                            std::size_t num_threads) {
-  const std::size_t ipt_count = items_per_thread.size();
-  const std::size_t total = specs.size() * ipt_count;
-  if (total == 0) return 0;
+std::vector<RunRecord> Explorer::measure_configs(
+    const std::vector<ConfigRequest>& configs, std::size_t num_threads) {
+  const std::size_t total = configs.size();
+  std::vector<RunRecord> records(total);
+  if (total == 0) return records;
 
   // The lazy baseline init is not thread-safe; compute it eagerly so the
   // workers below only ever read baseline state.
@@ -101,7 +100,7 @@ std::size_t Explorer::sweep(const std::vector<pragma::ApproxSpec>& specs,
                                        Scheduler::shared().parallelism());
   // Per-slot forks are created lazily: slot 0 (the calling thread always
   // participates) doubles as the forkability probe, and every other slot
-  // forks on first use — a sweep whose indices are all claimed before any
+  // forks on first use — a batch whose indices are all claimed before any
   // worker steals pays for exactly one clone. Slots are exclusive to one
   // thread for the whole job, so the lazy init needs no synchronization;
   // concurrent forks on different slots are const reads of the source
@@ -115,10 +114,9 @@ std::size_t Explorer::sweep(const std::vector<pragma::ApproxSpec>& specs,
     // else: non-forkable benchmark, fall back to serial
   }
 
-  std::vector<RunRecord> records(total);
   auto eval_at = [&](Benchmark& bench, std::size_t index) {
     records[index] =
-        evaluate(bench, specs[index / ipt_count], items_per_thread[index % ipt_count]);
+        evaluate(bench, configs[index].spec, configs[index].items_per_thread);
   };
 
   if (forks.empty()) {
@@ -127,8 +125,8 @@ std::size_t Explorer::sweep(const std::vector<pragma::ApproxSpec>& specs,
     // One fork per participant slot; the calling thread claims indices
     // alongside the stealing workers, so `workers` is an upper bound on
     // concurrency, not a thread spawn count. Records land at their index,
-    // which keeps the database order — and the CSV bytes — identical to a
-    // serial sweep.
+    // which keeps the result order — and any CSV built from it — identical
+    // to a serial evaluation.
     Scheduler::shared().parallel_for(
         total,
         [&](std::size_t slot, std::size_t index) {
@@ -141,6 +139,20 @@ std::size_t Explorer::sweep(const std::vector<pragma::ApproxSpec>& specs,
         },
         /*max_participants=*/forks.size());
   }
+  return records;
+}
+
+std::size_t Explorer::sweep(const std::vector<pragma::ApproxSpec>& specs,
+                            const std::vector<std::uint64_t>& items_per_thread,
+                            std::size_t num_threads) {
+  std::vector<ConfigRequest> configs;
+  configs.reserve(specs.size() * items_per_thread.size());
+  for (const auto& spec : specs) {
+    for (const std::uint64_t ipt : items_per_thread) {
+      configs.push_back(ConfigRequest{spec, ipt});
+    }
+  }
+  std::vector<RunRecord> records = measure_configs(configs, num_threads);
 
   std::size_t feasible = 0;
   for (auto& record : records) {

@@ -10,6 +10,13 @@
 
 namespace hpac::harness {
 
+/// One configuration to measure: the (spec, items-per-thread) half of a
+/// campaign tuple — benchmark and device are the Explorer's identity.
+struct ConfigRequest {
+  pragma::ApproxSpec spec;
+  std::uint64_t items_per_thread = 0;
+};
+
 /// Drives one benchmark through approximation configurations on one
 /// simulated device: the hpac-offload *execution harness* (paper §2.3).
 /// It runs the accurate program once as the baseline, then evaluates each
@@ -43,6 +50,15 @@ class Explorer {
   std::size_t sweep(const std::vector<pragma::ApproxSpec>& specs,
                     const std::vector<std::uint64_t>& items_per_thread,
                     std::size_t num_threads = 0);
+
+  /// Evaluate an arbitrary batch of configurations and return the records
+  /// in request order *without* touching the Explorer's database — the
+  /// building block `sweep` (cross product) and `TuningService` (exactly
+  /// the tuples missing from a store) share. Computes the baseline eagerly,
+  /// then fans out over per-slot benchmark forks like `sweep`; results are
+  /// deterministic and independent of worker count.
+  std::vector<RunRecord> measure_configs(const std::vector<ConfigRequest>& configs,
+                                         std::size_t num_threads = 0);
 
   ResultDb& db() { return db_; }
   const ResultDb& db() const { return db_; }

@@ -1,0 +1,127 @@
+#include "harness/result_store.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "harness/campaign.hpp"
+
+namespace hpac::harness {
+
+namespace {
+
+bool file_has_content(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good() && in.peek() != std::char_traits<char>::eof();
+}
+
+}  // namespace
+
+// --- Snapshot ----------------------------------------------------------------
+
+const std::shared_ptr<const ResultStore::Snapshot::State>&
+ResultStore::Snapshot::empty_state() {
+  static const std::shared_ptr<const State> empty = std::make_shared<State>();
+  return empty;
+}
+
+const RunRecord* ResultStore::Snapshot::find_key(const std::string& tuple_key) const {
+  const std::size_t* index = state_->index.find(tuple_key);
+  return index != nullptr ? &state_->records[*index] : nullptr;
+}
+
+const RunRecord* ResultStore::Snapshot::find(const std::string& benchmark,
+                                             const std::string& device,
+                                             const std::string& spec_text,
+                                             std::uint64_t items_per_thread) const {
+  return find_key(Campaign::tuple_key(benchmark, device, spec_text, items_per_thread));
+}
+
+ResultDb ResultStore::Snapshot::to_db() const {
+  ResultDb db;
+  state_->records.for_each([&db](const RunRecord& record) { db.add(record); });
+  return db;
+}
+
+// --- ResultStore -------------------------------------------------------------
+
+std::string ResultStore::key_of(const RunRecord& record) {
+  return Campaign::tuple_key(record.benchmark, record.device, record.spec_text,
+                             record.items_per_thread);
+}
+
+ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
+  auto state = std::make_shared<Snapshot::State>();
+  const bool resuming = persistent() && file_has_content(path_);
+  if (resuming) {
+    // drop_torn_tail: a writer killed mid-append must not brick the store.
+    const ResultDb journal = ResultDb::load(path_, /*drop_torn_tail=*/true);
+    for (const RunRecord& record : journal.records()) {
+      std::string key = key_of(record);
+      if (state->index.contains(key)) {
+        ++load_stats_.duplicates;  // e.g. two writers raced on one file
+        continue;
+      }
+      state->index = state->index.set(std::move(key), state->records.size());
+      state->records = state->records.push_back(record);
+      ++state->version;
+      ++load_stats_.restored;
+    }
+  }
+  if (persistent()) {
+    journal_.open(path_, std::ios::app);
+    HPAC_REQUIRE(journal_.good(), "cannot open result store journal: " + path_);
+    if (!resuming) {
+      // An empty table writes exactly the header line, guaranteeing the
+      // journal and any final canonical rewrite share one format.
+      CsvTable(RunRecord::csv_columns()).write(journal_);
+      journal_.flush();
+    }
+  }
+  publish(std::move(state));
+}
+
+ResultStore::~ResultStore() = default;
+
+std::uint64_t ResultStore::append(const RunRecord& record) {
+  const std::uint64_t version = append_if_absent(record);
+  HPAC_REQUIRE(version != 0, "result store already holds tuple: " + record.benchmark +
+                                 " on " + record.device + " '" + record.spec_text + "'");
+  return version;
+}
+
+std::uint64_t ResultStore::append_if_absent(const RunRecord& record) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  HPAC_REQUIRE(!finalized_, "result store was finalized; no further appends");
+  const std::shared_ptr<const Snapshot::State> current = snapshot().state_;
+  std::string key = key_of(record);
+  if (current->index.contains(key)) return 0;
+  // Journal first, publish second: a version is only ever visible once its
+  // row is flushed, so a snapshot can never lead the durable journal.
+  if (persistent()) {
+    write_csv_row(journal_, record.to_row());
+    journal_.flush();
+  }
+  auto next = std::make_shared<Snapshot::State>();
+  next->index = current->index.set(std::move(key), current->records.size());
+  next->records = current->records.push_back(record);
+  next->version = current->version + 1;
+  const std::uint64_t version = next->version;
+  publish(std::move(next));
+  return version;
+}
+
+void ResultStore::finalize(const ResultDb& canonical) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  HPAC_REQUIRE(!finalized_, "result store was already finalized");
+  finalized_ = true;
+  if (!persistent()) return;
+  journal_.close();
+  const std::string tmp = path_ + ".tmp";
+  canonical.save(tmp);
+  HPAC_REQUIRE(std::rename(tmp.c_str(), path_.c_str()) == 0,
+               "cannot replace result store journal: " + path_);
+}
+
+}  // namespace hpac::harness

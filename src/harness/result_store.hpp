@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/persistent.hpp"
+#include "harness/record.hpp"
+
+namespace hpac::harness {
+
+/// Versioned, snapshot-readable result store over the Campaign journal —
+/// the persistence layer that turns one-shot batch sweeps into a serving
+/// substrate (ROADMAP item 1). One writer appends records through the
+/// existing flushed-CSV journal path (so files stay byte-compatible with
+/// pre-store campaigns and a killed writer loses at most the in-flight
+/// record); any number of readers take immutable snapshots.
+///
+/// Concurrency contract:
+///  * `append` serializes writers on the writer mutex, writes + flushes
+///    the journal row and builds the next index, then publishes the new
+///    version in one pointer swap.
+///  * `snapshot` copies the published pointer under a dedicated head
+///    mutex held for nothing but that copy (a refcount bump — no journal
+///    IO, no index work ever happens under it). It never takes the
+///    writer lock, so a blocked or slow writer cannot stall readers and
+///    concurrent readers add no contention to the writer's slow path.
+///  * A snapshot is an immutable value: every record and index node it
+///    references is structurally shared with later versions
+///    (`common::PersistentVector` / `common::PersistentMap`) and stays
+///    valid for the snapshot's lifetime regardless of subsequent appends.
+class ResultStore {
+ public:
+  /// An immutable view of the store at one version. Copies are cheap
+  /// (shared structure); all methods are const and thread-safe.
+  class Snapshot {
+   public:
+    Snapshot() : state_(empty_state()) {}
+
+    /// Number of appends absorbed (restored rows included). Strictly
+    /// monotonic across the store's lifetime; two snapshots with equal
+    /// versions are the same value.
+    std::uint64_t version() const { return state_->version; }
+    std::size_t size() const { return state_->records.size(); }
+    bool empty() const { return size() == 0; }
+
+    /// Record for a (benchmark, device, spec, items-per-thread) tuple, or
+    /// nullptr. The pointee is owned by the store's persistent structure
+    /// and outlives the snapshot only while some snapshot references it —
+    /// copy it out to keep it past this snapshot's lifetime.
+    const RunRecord* find(const std::string& benchmark, const std::string& device,
+                          const std::string& spec_text,
+                          std::uint64_t items_per_thread) const;
+    const RunRecord* find_key(const std::string& tuple_key) const;
+    bool contains_key(const std::string& tuple_key) const {
+      return find_key(tuple_key) != nullptr;
+    }
+
+    /// Record by append order (0 = oldest).
+    const RunRecord& at(std::size_t index) const { return state_->records[index]; }
+
+    /// Visit every record in append order.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      state_->records.for_each(fn);
+    }
+
+    /// Materialize as a ResultDb (append order) for the analysis helpers.
+    ResultDb to_db() const;
+
+   private:
+    friend class ResultStore;
+
+    struct State {
+      common::PersistentVector<RunRecord> records;
+      common::PersistentMap<std::string, std::size_t> index;  ///< tuple key -> record
+      std::uint64_t version = 0;
+    };
+
+    explicit Snapshot(std::shared_ptr<const State> state) : state_(std::move(state)) {}
+    static const std::shared_ptr<const State>& empty_state();
+
+    std::shared_ptr<const State> state_;
+  };
+
+  /// Counters of the journal absorption performed by the constructor.
+  struct LoadStats {
+    std::size_t restored = 0;    ///< rows loaded into the index
+    std::size_t duplicates = 0;  ///< journal rows whose tuple was already present
+  };
+
+  /// Open (or create) a store journaling to `path`; empty = in-memory
+  /// only. An existing journal is absorbed first — torn trailing rows
+  /// (writer killed mid-append) are dropped, duplicate tuples keep the
+  /// first occurrence — and subsequent appends continue the same file in
+  /// append mode. A fresh file gets the canonical CSV header immediately,
+  /// so journal and final CSV share one format.
+  explicit ResultStore(std::string path = "");
+  ~ResultStore();
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// The current version: one pointer copy under the head mutex, never
+  /// the writer lock.
+  Snapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    return Snapshot(state_);
+  }
+
+  /// Append one record: journal row written and flushed under the writer
+  /// lock, then the new version is published. Throws hpac::Error when the
+  /// record's tuple is already present (the resume paths check first).
+  /// Returns the published version.
+  std::uint64_t append(const RunRecord& record);
+
+  /// Like `append`, but when the tuple is already present it writes
+  /// nothing and returns 0 (never a real version: the first append
+  /// publishes version >= 1). For producers racing on one store — e.g. a
+  /// TuningService evaluation vs. a concurrent campaign.
+  std::uint64_t append_if_absent(const RunRecord& record);
+
+  /// `version()` of the latest snapshot, without building one.
+  std::uint64_t version() const { return snapshot().version(); }
+  std::size_t size() const { return snapshot().size(); }
+
+  const std::string& path() const { return path_; }
+  bool persistent() const { return !path_.empty(); }
+  const LoadStats& load_stats() const { return load_stats_; }
+
+  /// Rewrite the journal file as the canonical CSV `db` serializes to
+  /// (write-to-temp + atomic rename — the Campaign's final rewrite). The
+  /// in-memory index keeps serving the appended order; only the file
+  /// changes. No-op for in-memory stores. The journal stream is closed:
+  /// finalize is terminal, appends afterwards throw.
+  void finalize(const ResultDb& canonical);
+
+  /// The canonical identity key of a record (Campaign::tuple_key order).
+  static std::string key_of(const RunRecord& record);
+
+ private:
+  void publish(std::shared_ptr<const Snapshot::State> next) {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    state_ = std::move(next);
+  }
+
+  std::string path_;
+  LoadStats load_stats_;
+  std::mutex writer_mutex_;        ///< serializes append/finalize
+  std::ofstream journal_;          ///< open while persistent() && !finalized_
+  bool finalized_ = false;
+  /// Guards only the `state_` pointer itself: both sides hold it for a
+  /// single shared_ptr copy/swap. (std::atomic<shared_ptr> would express
+  /// this directly, but libstdc++'s spinlock implementation unlocks the
+  /// reader side with a relaxed RMW, which ThreadSanitizer — gating in CI
+  /// — rightly refuses to treat as synchronizing with the writer.)
+  mutable std::mutex head_mutex_;
+  /// Published head: written by publish(), copied by snapshot().
+  std::shared_ptr<const Snapshot::State> state_;
+};
+
+}  // namespace hpac::harness

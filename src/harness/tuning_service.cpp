@@ -1,0 +1,223 @@
+#include "harness/tuning_service.hpp"
+
+#include <utility>
+
+#include "apps/registry.hpp"
+#include "common/error.hpp"
+#include "harness/campaign.hpp"
+#include "harness/explorer.hpp"
+#include "pragma/parser.hpp"
+#include "sim/device.hpp"
+
+namespace hpac::harness {
+
+/// Benchmark + Explorer pair kept alive across queries so the accurate
+/// baseline is computed once per (benchmark, device). Only the single
+/// active evaluator thread touches engines, so no lock guards them.
+struct TuningService::Engine {
+  std::unique_ptr<Benchmark> app;
+  std::unique_ptr<Explorer> explorer;
+};
+
+TuningService::TuningService(ResultStore& store, TuningServiceConfig config)
+    : store_(store), config_(std::move(config)) {
+  HPAC_REQUIRE(config_.max_pending > 0,
+               "tuning service needs a positive admission bound");
+}
+
+TuningService::~TuningService() = default;
+
+TuningService::Stats TuningService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+TuningAnswer TuningService::query(const TuningQuery& query, const std::string& client) {
+  TuningAnswer answer;
+
+  // --- validate and canonicalize: aliases ("nvidia") and equivalent spec
+  // spellings must resolve to the store key a campaign would have used ---
+  Pending pending;
+  try {
+    if (!apps::is_benchmark(query.benchmark)) {
+      throw ConfigError("unknown benchmark: " + query.benchmark);
+    }
+    HPAC_REQUIRE(query.items_per_thread > 0, "items-per-thread must be positive");
+    const sim::DeviceConfig device = sim::device_by_name(query.device);
+    pending.spec = pragma::parse_approx(query.spec_text);
+    pending.query = query;
+    pending.query.device = device.name;
+    pending.query.spec_text = pending.spec.to_string();
+    pending.key = Campaign::tuple_key(pending.query.benchmark, pending.query.device,
+                                      pending.query.spec_text, query.items_per_thread);
+  } catch (const Error& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.queries;
+    answer.error = e.what();
+    return answer;  // status defaults to kError
+  }
+  // A copy, not a reference: `pending` is moved into the admission queue
+  // below, and this key must outlive that move.
+  const std::string key = pending.key;
+
+  // --- memoized fast path: one snapshot load, no evaluation machinery ---
+  {
+    const ResultStore::Snapshot snap = store_.snapshot();
+    if (const RunRecord* hit = snap.find_key(key)) {
+      answer.record = *hit;  // copy out before the snapshot dies
+      answer.status = TuningStatus::kOk;
+      answer.memoized = true;
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.queries;
+      ++stats_.memoized;
+      return answer;
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.queries;
+
+  // --- admission: leave this loop with the tuple answered or enqueued ---
+  bool waited_on_peer = false;
+  for (;;) {
+    {
+      const ResultStore::Snapshot snap = store_.snapshot();
+      if (const RunRecord* hit = snap.find_key(key)) {
+        answer.record = *hit;
+        answer.status = TuningStatus::kOk;
+        answer.memoized = !waited_on_peer;
+        if (waited_on_peer) {
+          ++stats_.coalesced;
+        } else {
+          ++stats_.memoized;  // raced with a concurrent producer: still free
+        }
+        return answer;
+      }
+    }
+    if (inflight_.count(key) != 0) {
+      // Identical tuple already admitted by another query: coalesce onto
+      // that evaluation instead of queueing a duplicate.
+      waited_on_peer = true;
+      progress_.wait(lock);
+      continue;
+    }
+    if (pending_total_ >= config_.max_pending) {
+      ++stats_.rejected;
+      answer.status = TuningStatus::kRejected;
+      answer.error = "admission queue full (" + std::to_string(config_.max_pending) +
+                     " tuples pending)";
+      return answer;
+    }
+    auto& queue = queues_[client];
+    if (queue.empty()) rotation_.push_back(client);
+    inflight_.insert(key);
+    queue.push_back(std::move(pending));
+    ++pending_total_;
+    break;
+  }
+
+  // --- our tuple is admitted: evaluate (work-conserving) or wait ---
+  for (;;) {
+    {
+      const ResultStore::Snapshot snap = store_.snapshot();
+      if (const RunRecord* hit = snap.find_key(key)) {
+        answer.record = *hit;
+        answer.status = TuningStatus::kOk;
+        answer.memoized = false;
+        return answer;
+      }
+    }
+    if (!evaluator_running_) {
+      // Whoever gets here first drains the whole admission queue in fair
+      // order — including tuples admitted by clients that are merely
+      // waiting. One evaluator at a time keeps the engine cache lock-free.
+      evaluator_running_ = true;
+      try {
+        run_evaluator(lock);
+      } catch (...) {
+        evaluator_running_ = false;
+        progress_.notify_all();
+        throw;
+      }
+      evaluator_running_ = false;
+      progress_.notify_all();
+      continue;
+    }
+    progress_.wait(lock);
+  }
+}
+
+void TuningService::run_evaluator(std::unique_lock<std::mutex>& lock) {
+  while (pending_total_ > 0) {
+    Pending next = take_next_fair();
+    lock.unlock();
+    RunRecord record;
+    try {
+      record = evaluate(next);
+    } catch (...) {
+      // Release the key so a later query can retry the tuple; the failure
+      // propagates to the query thread that ran the evaluator.
+      lock.lock();
+      inflight_.erase(next.key);
+      --pending_total_;
+      progress_.notify_all();
+      throw;
+    }
+    lock.lock();
+    // A concurrent campaign on the same store may have produced the tuple
+    // while we evaluated; first writer wins, the store stays consistent.
+    store_.append_if_absent(record);
+    ++stats_.evaluated;
+    inflight_.erase(next.key);
+    --pending_total_;
+    progress_.notify_all();
+  }
+}
+
+TuningService::Pending TuningService::take_next_fair() {
+  HPAC_REQUIRE(!rotation_.empty(), "fair pick on an empty admission queue");
+  if (rotation_next_ >= rotation_.size()) rotation_next_ = 0;
+  const std::string client = rotation_[rotation_next_];
+  const auto it = queues_.find(client);
+  Pending next = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) {
+    // Client leaves the rotation; the cursor now points at its successor.
+    queues_.erase(it);
+    rotation_.erase(rotation_.begin() + static_cast<std::ptrdiff_t>(rotation_next_));
+  } else {
+    ++rotation_next_;
+  }
+  return next;
+}
+
+RunRecord TuningService::evaluate(const Pending& pending) {
+  RunRecord record;
+  if (config_.evaluate_override) {
+    record = config_.evaluate_override(pending.query, pending.spec);
+  } else {
+    const std::string engine_key = pending.query.benchmark + '\x1f' + pending.query.device;
+    auto it = engines_.find(engine_key);
+    if (it == engines_.end()) {
+      auto engine = std::make_unique<Engine>();
+      engine->app = apps::make_benchmark(pending.query.benchmark);
+      engine->explorer = std::make_unique<Explorer>(
+          *engine->app, sim::device_by_name(pending.query.device));
+      it = engines_.emplace(engine_key, std::move(engine)).first;
+    }
+    record = it->second->explorer
+                 ->measure_configs({ConfigRequest{pending.spec,
+                                                  pending.query.items_per_thread}},
+                                   config_.num_threads)
+                 .front();
+  }
+  // Canonical identity regardless of what the evaluator filled in, so the
+  // stored key always matches the admitted key.
+  record.benchmark = pending.query.benchmark;
+  record.device = pending.query.device;
+  record.items_per_thread = pending.query.items_per_thread;
+  record.set_spec(pending.spec);
+  return record;
+}
+
+}  // namespace hpac::harness

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "harness/record.hpp"
+#include "harness/result_store.hpp"
+#include "pragma/spec.hpp"
+
+namespace hpac::harness {
+
+/// One tuning question: a single campaign tuple. `spec_text` is parsed and
+/// canonicalized by the service, so clients may send any text
+/// `pragma::parse_approx` accepts — equivalent spellings resolve to the
+/// same store key.
+struct TuningQuery {
+  std::string benchmark;
+  std::string device;  ///< preset name for sim::device_by_name
+  std::string spec_text;
+  std::uint64_t items_per_thread = 0;
+};
+
+enum class TuningStatus : std::uint8_t {
+  kOk = 0,    ///< record available (memoized or freshly evaluated)
+  kRejected,  ///< admission queue full — backpressure, retry later
+  kError,     ///< malformed query (unknown benchmark/device, bad spec text)
+};
+
+/// What a query returns. `memoized` is true when the answer came straight
+/// from a store snapshot — no evaluation ran and the scheduler was never
+/// touched on behalf of this query.
+struct TuningAnswer {
+  TuningStatus status = TuningStatus::kError;
+  bool memoized = false;
+  RunRecord record;   ///< valid when status == kOk
+  std::string error;  ///< set when status != kOk
+};
+
+struct TuningServiceConfig {
+  /// Bounded admission queue: total tuples enqueued-but-unfinished across
+  /// all clients. A query whose tuple would exceed this is rejected
+  /// (kRejected) instead of queued — backpressure the caller can see.
+  std::size_t max_pending = 64;
+  /// Worker bound for Explorer::measure_configs on cold evaluations
+  /// (0 = hardware concurrency).
+  std::size_t num_threads = 0;
+  /// Test seam: when set, cold tuples are answered by this function
+  /// instead of constructing a Benchmark/Explorer — admission, fairness
+  /// and memoization behave identically, but evaluation is deterministic
+  /// and scheduler-free. Identity fields of the returned record are
+  /// overwritten with the tuple's canonical identity.
+  std::function<RunRecord(const TuningQuery&, const pragma::ApproxSpec&)> evaluate_override;
+};
+
+/// Serving layer over a ResultStore: answers memoized tuples from lock-free
+/// snapshots and admits only the *missing* tuples for evaluation, with
+/// per-client round-robin fairness and a bounded admission queue
+/// (ROADMAP item 1's daemon core, minus the socket).
+///
+/// Concurrency contract:
+///  * Memoized queries read one store snapshot and touch a short stats
+///    lock — they never wait on an evaluation in progress.
+///  * Cold queries enqueue their tuple and block until it is in the store.
+///    Identical concurrent queries coalesce onto one evaluation.
+///  * Evaluation is work-conserving and client-fair: whichever query
+///    thread finds no evaluator running becomes it, and drains the
+///    admission queue one tuple per client in rotation, so a client that
+///    floods the queue cannot starve a client asking for one tuple.
+///  * Baselines are cached per (benchmark, device): the first cold tuple
+///    of a pair pays for the accurate run, subsequent tuples reuse it —
+///    the Campaign's shard economics, applied incrementally.
+class TuningService {
+ public:
+  struct Stats {
+    std::uint64_t queries = 0;    ///< total query() calls
+    std::uint64_t memoized = 0;   ///< served from a snapshot, no evaluation
+    std::uint64_t evaluated = 0;  ///< tuples actually evaluated
+    std::uint64_t coalesced = 0;  ///< queries that waited on another's evaluation
+    std::uint64_t rejected = 0;   ///< queries refused by the admission bound
+  };
+
+  /// The store is caller-owned and may be concurrently written by a
+  /// Campaign::run(store) on another thread; the service tolerates (and
+  /// benefits from) tuples appearing underneath it.
+  explicit TuningService(ResultStore& store, TuningServiceConfig config = {});
+  ~TuningService();
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  /// Answer one tuple on behalf of `client` (the fairness identity —
+  /// e.g. one socket connection). Blocking: cold tuples return once
+  /// evaluated, memoized tuples return immediately.
+  TuningAnswer query(const TuningQuery& query, const std::string& client = "default");
+
+  Stats stats() const;
+  const ResultStore& store() const { return store_; }
+
+ private:
+  struct Pending {
+    std::string key;  ///< canonical tuple key
+    TuningQuery query;
+    pragma::ApproxSpec spec;
+  };
+
+  /// Lazily constructed per (benchmark, device) so the accurate baseline
+  /// is computed once per pair; only the single evaluator thread touches
+  /// these, so they need no lock of their own.
+  struct Engine;
+
+  /// Drain the admission queue; called with `lock` held, returns with it
+  /// held, releases it around each evaluation.
+  void run_evaluator(std::unique_lock<std::mutex>& lock);
+
+  /// Pick the next tuple fairly (round-robin over clients with queued
+  /// work). Requires the lock; pops the tuple from its client queue.
+  Pending take_next_fair();
+
+  RunRecord evaluate(const Pending& pending);
+
+  ResultStore& store_;
+  TuningServiceConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable progress_;
+  /// Per-client FIFO of admitted tuples plus the rotation order; a client
+  /// leaves the rotation when its queue drains.
+  std::map<std::string, std::deque<Pending>> queues_;
+  std::vector<std::string> rotation_;
+  std::size_t rotation_next_ = 0;
+  std::unordered_set<std::string> inflight_;  ///< admitted or evaluating keys
+  std::size_t pending_total_ = 0;
+  bool evaluator_running_ = false;
+  Stats stats_;
+
+  std::map<std::string, std::unique_ptr<Engine>> engines_;
+};
+
+}  // namespace hpac::harness

@@ -1,0 +1,47 @@
+#include "service/client.hpp"
+
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "service/socket_io.hpp"
+
+namespace hpac::service {
+
+TuningClient::TuningClient(const std::string& socket_path)
+    : fd_(connect_unix(socket_path)) {}
+
+TuningClient::~TuningClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame TuningClient::round_trip(MessageType request, std::string_view body,
+                               MessageType expected_reply) {
+  write_frame(fd_, request, body);
+  Frame reply;
+  if (!read_frame(fd_, reply)) {
+    throw Error("daemon closed the connection before replying");
+  }
+  if (reply.type != expected_reply) {
+    throw ProtocolError("unexpected reply type " +
+                        std::to_string(static_cast<int>(reply.type)));
+  }
+  return reply;
+}
+
+harness::TuningAnswer TuningClient::query(const harness::TuningQuery& query) {
+  const Frame reply =
+      round_trip(MessageType::kQueryRequest, encode_query(query), MessageType::kQueryReply);
+  return decode_answer(reply.body);
+}
+
+harness::TuningService::Stats TuningClient::stats() {
+  const Frame reply =
+      round_trip(MessageType::kStatsRequest, "", MessageType::kStatsReply);
+  return decode_stats(reply.body);
+}
+
+void TuningClient::shutdown_server() {
+  round_trip(MessageType::kShutdownRequest, "", MessageType::kShutdownReply);
+}
+
+}  // namespace hpac::service

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "harness/tuning_service.hpp"
+#include "service/protocol.hpp"
+
+namespace hpac::service {
+
+/// Thin blocking client for the hpacd socket protocol — one connection,
+/// one outstanding request at a time (the transport the smoke tests and
+/// simple integrations need; anything fancier can speak the frames
+/// directly).
+class TuningClient {
+ public:
+  /// Connects immediately; throws hpac::Error when the daemon is not
+  /// listening at `socket_path`.
+  explicit TuningClient(const std::string& socket_path);
+  ~TuningClient();
+
+  TuningClient(const TuningClient&) = delete;
+  TuningClient& operator=(const TuningClient&) = delete;
+
+  /// Round-trip one tuning query. Blocks while the daemon evaluates a
+  /// cold tuple; memoized tuples return immediately.
+  harness::TuningAnswer query(const harness::TuningQuery& query);
+
+  /// The daemon's service counters (queries/memoized/evaluated/...).
+  harness::TuningService::Stats stats();
+
+  /// Ask the daemon to shut down; returns once the daemon acknowledged.
+  void shutdown_server();
+
+ private:
+  Frame round_trip(MessageType request, std::string_view body,
+                   MessageType expected_reply);
+
+  int fd_ = -1;
+};
+
+}  // namespace hpac::service

@@ -1,0 +1,259 @@
+#include "service/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace hpac::service {
+
+namespace {
+
+void put_u8(std::string& out, std::uint8_t value) {
+  out.push_back(static_cast<char>(value));
+}
+
+std::uint8_t get_u8(std::string_view body, std::size_t& offset) {
+  if (offset + 1 > body.size()) throw ProtocolError("truncated u8");
+  return static_cast<std::uint8_t>(body[offset++]);
+}
+
+void put_i32(std::string& out, int value) {
+  put_u32(out, static_cast<std::uint32_t>(value));
+}
+
+int get_i32(std::string_view body, std::size_t& offset) {
+  return static_cast<int>(get_u32(body, offset));
+}
+
+}  // namespace
+
+// --- primitive scalars -------------------------------------------------------
+
+void put_u16(std::string& out, std::uint16_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+void put_string(std::string& out, std::string_view value) {
+  if (value.size() > kMaxPayload) throw ProtocolError("string exceeds frame bound");
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  out.append(value);
+}
+
+std::uint16_t get_u16(std::string_view body, std::size_t& offset) {
+  if (offset + 2 > body.size()) throw ProtocolError("truncated u16");
+  const auto* bytes = reinterpret_cast<const unsigned char*>(body.data() + offset);
+  offset += 2;
+  return static_cast<std::uint16_t>(bytes[0] | (bytes[1] << 8));
+}
+
+std::uint32_t get_u32(std::string_view body, std::size_t& offset) {
+  if (offset + 4 > body.size()) throw ProtocolError("truncated u32");
+  const auto* bytes = reinterpret_cast<const unsigned char*>(body.data() + offset);
+  offset += 4;
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) value = (value << 8) | bytes[i];
+  return value;
+}
+
+std::uint64_t get_u64(std::string_view body, std::size_t& offset) {
+  if (offset + 8 > body.size()) throw ProtocolError("truncated u64");
+  const auto* bytes = reinterpret_cast<const unsigned char*>(body.data() + offset);
+  offset += 8;
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) value = (value << 8) | bytes[i];
+  return value;
+}
+
+double get_f64(std::string_view body, std::size_t& offset) {
+  return std::bit_cast<double>(get_u64(body, offset));
+}
+
+std::string get_string(std::string_view body, std::size_t& offset) {
+  const std::uint32_t length = get_u32(body, offset);
+  if (length > kMaxPayload || offset + length > body.size()) {
+    throw ProtocolError("truncated string");
+  }
+  std::string value(body.substr(offset, length));
+  offset += length;
+  return value;
+}
+
+// --- framing -----------------------------------------------------------------
+
+std::string encode_frame(MessageType type, std::string_view body) {
+  std::string payload;
+  payload.reserve(4 + body.size());
+  put_u16(payload, kProtocolVersion);
+  put_u16(payload, static_cast<std::uint16_t>(type));
+  payload.append(body);
+  if (payload.size() > kMaxPayload) throw ProtocolError("frame exceeds payload bound");
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+Frame decode_frame(std::string_view payload) {
+  std::size_t offset = 0;
+  const std::uint16_t version = get_u16(payload, offset);
+  if (version != kProtocolVersion) {
+    throw ProtocolError("unsupported protocol version " + std::to_string(version) +
+                        " (speaking " + std::to_string(kProtocolVersion) + ")");
+  }
+  const std::uint16_t raw_type = get_u16(payload, offset);
+  if (raw_type < static_cast<std::uint16_t>(MessageType::kQueryRequest) ||
+      raw_type > static_cast<std::uint16_t>(MessageType::kShutdownReply)) {
+    throw ProtocolError("unknown message type " + std::to_string(raw_type));
+  }
+  Frame frame;
+  frame.type = static_cast<MessageType>(raw_type);
+  frame.body = std::string(payload.substr(offset));
+  return frame;
+}
+
+// --- message bodies ----------------------------------------------------------
+
+std::string encode_query(const harness::TuningQuery& query) {
+  std::string body;
+  put_string(body, query.benchmark);
+  put_string(body, query.device);
+  put_string(body, query.spec_text);
+  put_u64(body, query.items_per_thread);
+  return body;
+}
+
+harness::TuningQuery decode_query(std::string_view body) {
+  std::size_t offset = 0;
+  harness::TuningQuery query;
+  query.benchmark = get_string(body, offset);
+  query.device = get_string(body, offset);
+  query.spec_text = get_string(body, offset);
+  query.items_per_thread = get_u64(body, offset);
+  return query;
+}
+
+namespace {
+
+// The record travels field-by-field (not as a CSV row) so the wire format
+// is governed by the protocol version alone, independent of how the store
+// happens to serialize its journal.
+void put_record(std::string& out, const harness::RunRecord& record) {
+  put_string(out, record.benchmark);
+  put_string(out, record.device);
+  put_u16(out, static_cast<std::uint16_t>(record.technique));
+  put_string(out, record.spec_text);
+  put_u16(out, static_cast<std::uint16_t>(record.level));
+  put_u64(out, record.items_per_thread);
+  put_u8(out, record.feasible ? 1 : 0);
+  put_string(out, record.note);
+  put_f64(out, record.speedup);
+  put_f64(out, record.error_percent);
+  put_f64(out, record.approx_ratio);
+  put_f64(out, record.kernel_seconds);
+  put_f64(out, record.end_to_end_seconds);
+  put_f64(out, record.iterations);
+  put_f64(out, record.baseline_iterations);
+  put_f64(out, record.threshold);
+  put_i32(out, record.history_size);
+  put_i32(out, record.prediction_size);
+  put_i32(out, record.table_size);
+  put_i32(out, record.tables_per_warp);
+  put_string(out, record.perfo_kind);
+  put_i32(out, record.perfo_stride);
+  put_f64(out, record.perfo_fraction);
+}
+
+harness::RunRecord get_record(std::string_view body, std::size_t& offset) {
+  harness::RunRecord record;
+  record.benchmark = get_string(body, offset);
+  record.device = get_string(body, offset);
+  record.technique = static_cast<pragma::Technique>(get_u16(body, offset));
+  record.spec_text = get_string(body, offset);
+  record.level = static_cast<pragma::HierarchyLevel>(get_u16(body, offset));
+  record.items_per_thread = get_u64(body, offset);
+  record.feasible = get_u8(body, offset) != 0;
+  record.note = get_string(body, offset);
+  record.speedup = get_f64(body, offset);
+  record.error_percent = get_f64(body, offset);
+  record.approx_ratio = get_f64(body, offset);
+  record.kernel_seconds = get_f64(body, offset);
+  record.end_to_end_seconds = get_f64(body, offset);
+  record.iterations = get_f64(body, offset);
+  record.baseline_iterations = get_f64(body, offset);
+  record.threshold = get_f64(body, offset);
+  record.history_size = get_i32(body, offset);
+  record.prediction_size = get_i32(body, offset);
+  record.table_size = get_i32(body, offset);
+  record.tables_per_warp = get_i32(body, offset);
+  record.perfo_kind = get_string(body, offset);
+  record.perfo_stride = get_i32(body, offset);
+  record.perfo_fraction = get_f64(body, offset);
+  return record;
+}
+
+}  // namespace
+
+std::string encode_answer(const harness::TuningAnswer& answer) {
+  std::string body;
+  put_u8(body, static_cast<std::uint8_t>(answer.status));
+  put_u8(body, answer.memoized ? 1 : 0);
+  put_string(body, answer.error);
+  const bool has_record = answer.status == harness::TuningStatus::kOk;
+  put_u8(body, has_record ? 1 : 0);
+  if (has_record) put_record(body, answer.record);
+  return body;
+}
+
+harness::TuningAnswer decode_answer(std::string_view body) {
+  std::size_t offset = 0;
+  harness::TuningAnswer answer;
+  const std::uint8_t raw_status = get_u8(body, offset);
+  if (raw_status > static_cast<std::uint8_t>(harness::TuningStatus::kError)) {
+    throw ProtocolError("unknown answer status " + std::to_string(raw_status));
+  }
+  answer.status = static_cast<harness::TuningStatus>(raw_status);
+  answer.memoized = get_u8(body, offset) != 0;
+  answer.error = get_string(body, offset);
+  if (get_u8(body, offset) != 0) answer.record = get_record(body, offset);
+  return answer;
+}
+
+std::string encode_stats(const harness::TuningService::Stats& stats) {
+  std::string body;
+  put_u64(body, stats.queries);
+  put_u64(body, stats.memoized);
+  put_u64(body, stats.evaluated);
+  put_u64(body, stats.coalesced);
+  put_u64(body, stats.rejected);
+  return body;
+}
+
+harness::TuningService::Stats decode_stats(std::string_view body) {
+  std::size_t offset = 0;
+  harness::TuningService::Stats stats;
+  stats.queries = get_u64(body, offset);
+  stats.memoized = get_u64(body, offset);
+  stats.evaluated = get_u64(body, offset);
+  stats.coalesced = get_u64(body, offset);
+  stats.rejected = get_u64(body, offset);
+  return stats;
+}
+
+}  // namespace hpac::service

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "harness/tuning_service.hpp"
+
+namespace hpac::service {
+
+/// Wire protocol of the hpacd tuning daemon — framework-free and
+/// byte-order-explicit so any client that can write a socket can speak it.
+///
+/// Every message is one length-prefixed frame:
+///
+///   [u32 payload_len][payload]
+///   payload := [u16 version][u16 type][body]
+///
+/// All integers are little-endian; strings are [u32 len][bytes] (UTF-8 by
+/// convention, uninterpreted by the protocol). The version is checked on
+/// decode: a peer speaking a different protocol version gets a clean
+/// ProtocolError instead of a misparsed body, which is what lets the
+/// framing evolve without silent corruption.
+
+/// Raised on malformed frames: truncated body, unknown type, version
+/// mismatch, oversized payload.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error("protocol error: " + what) {}
+};
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Refuse absurd frames before allocating for them: a query or answer is
+/// a few strings and scalars, far below this.
+inline constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+enum class MessageType : std::uint16_t {
+  kQueryRequest = 1,   ///< TuningQuery
+  kQueryReply = 2,     ///< TuningAnswer
+  kStatsRequest = 3,   ///< empty body
+  kStatsReply = 4,     ///< TuningService::Stats
+  kShutdownRequest = 5,  ///< empty body; server stops after replying
+  kShutdownReply = 6,    ///< empty body
+};
+
+/// A decoded frame: type plus raw body bytes (decode_* parse the body).
+struct Frame {
+  MessageType type = MessageType::kQueryRequest;
+  std::string body;
+};
+
+// --- framing -----------------------------------------------------------------
+
+/// The complete frame bytes for `type` + `body` (length prefix included).
+std::string encode_frame(MessageType type, std::string_view body);
+
+/// Parse one complete frame from `bytes` (payload only, length prefix
+/// already stripped by the transport). Throws ProtocolError on version
+/// mismatch or truncation.
+Frame decode_frame(std::string_view payload);
+
+// --- primitive scalars (exposed for tests and future message types) ----------
+
+void put_u16(std::string& out, std::uint16_t value);
+void put_u32(std::string& out, std::uint32_t value);
+void put_u64(std::string& out, std::uint64_t value);
+void put_f64(std::string& out, double value);
+void put_string(std::string& out, std::string_view value);
+
+/// Cursor-style reader over a body; every get_* advances `offset` and
+/// throws ProtocolError past the end.
+std::uint16_t get_u16(std::string_view body, std::size_t& offset);
+std::uint32_t get_u32(std::string_view body, std::size_t& offset);
+std::uint64_t get_u64(std::string_view body, std::size_t& offset);
+double get_f64(std::string_view body, std::size_t& offset);
+std::string get_string(std::string_view body, std::size_t& offset);
+
+// --- message bodies ----------------------------------------------------------
+
+std::string encode_query(const harness::TuningQuery& query);
+harness::TuningQuery decode_query(std::string_view body);
+
+std::string encode_answer(const harness::TuningAnswer& answer);
+harness::TuningAnswer decode_answer(std::string_view body);
+
+std::string encode_stats(const harness::TuningService::Stats& stats);
+harness::TuningService::Stats decode_stats(std::string_view body);
+
+}  // namespace hpac::service

@@ -1,0 +1,138 @@
+#include "service/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "service/socket_io.hpp"
+
+namespace hpac::service {
+
+TuningServer::TuningServer(harness::ResultStore& store, Options options)
+    : options_(std::move(options)), service_(store, options_.service) {
+  HPAC_REQUIRE(!options_.socket_path.empty(), "tuning server needs a socket path");
+}
+
+TuningServer::~TuningServer() { stop(); }
+
+void TuningServer::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HPAC_REQUIRE(!running_, "tuning server already started");
+  listen_fd_ = listen_unix(options_.socket_path, options_.backlog);
+  running_ = true;
+  // The loop gets the fd by value: stop() reassigns the member under the
+  // mutex while accept(2) is still blocked, so the thread must not read it.
+  accept_thread_ = std::thread([this, fd = listen_fd_] { accept_loop(fd); });
+}
+
+void TuningServer::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stop_requested_cv_.wait(lock, [this] { return stop_requested_; });
+}
+
+void TuningServer::stop() {
+  std::vector<std::thread> to_join;
+  std::thread accept_to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+    stop_requested_cv_.notify_all();
+    if (!running_) return;
+    running_ = false;
+    // Closing the listen socket fails the blocking accept(2); shutting
+    // down connection sockets fails their blocking reads. The threads
+    // then drain on their own and we can join without a poll loop.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (int& fd : connection_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+    to_join.swap(connection_threads_);
+    accept_to_join = std::move(accept_thread_);
+  }
+  if (accept_to_join.joinable()) accept_to_join.join();
+  for (std::thread& thread : to_join) {
+    if (thread.joinable()) thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int& fd : connection_fds_) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+void TuningServer::accept_loop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed by stop()
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) {
+      ::close(fd);
+      return;
+    }
+    const std::uint64_t id = next_connection_++;
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd, id] { serve_connection(fd, id); });
+  }
+}
+
+void TuningServer::serve_connection(int fd, std::uint64_t connection_id) {
+  // One fairness identity per connection: admission rotates across
+  // connections, not across individual frames.
+  const std::string client = "conn-" + std::to_string(connection_id);
+  try {
+    Frame frame;
+    while (read_frame(fd, frame)) {
+      switch (frame.type) {
+        case MessageType::kQueryRequest: {
+          harness::TuningAnswer answer;
+          try {
+            answer = service_.query(decode_query(frame.body), client);
+          } catch (const Error& e) {
+            // Evaluation machinery failure (not a protocol problem):
+            // surface it to this client instead of dropping the socket.
+            answer.status = harness::TuningStatus::kError;
+            answer.error = e.what();
+          }
+          write_frame(fd, MessageType::kQueryReply, encode_answer(answer));
+          break;
+        }
+        case MessageType::kStatsRequest:
+          write_frame(fd, MessageType::kStatsReply, encode_stats(service_.stats()));
+          break;
+        case MessageType::kShutdownRequest: {
+          // Reply first so the client sees the ack, then wake wait();
+          // the owner of the server performs the actual stop() — a
+          // connection thread cannot join itself.
+          write_frame(fd, MessageType::kShutdownReply, "");
+          std::lock_guard<std::mutex> lock(mutex_);
+          stop_requested_ = true;
+          stop_requested_cv_.notify_all();
+          break;
+        }
+        default:
+          throw ProtocolError("unexpected message type on server");
+      }
+    }
+  } catch (const Error&) {
+    // Malformed frame or vanished peer: drop the connection. The store and
+    // service state stay consistent — at worst the client never sees the
+    // answer to a query whose record is already journaled.
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ::close(fd);
+  if (connection_id < connection_fds_.size()) connection_fds_[connection_id] = -1;
+}
+
+}  // namespace hpac::service

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/tuning_service.hpp"
+
+namespace hpac::service {
+
+/// The hpacd transport: a Unix-domain stream socket speaking the framed
+/// protocol, one thread per connection. Each connection is one fairness
+/// client of the underlying TuningService, so a flood of queries on one
+/// connection cannot starve another connection's single question.
+class TuningServer {
+ public:
+  struct Options {
+    std::string socket_path;
+    int backlog = 16;
+    harness::TuningServiceConfig service;
+  };
+
+  /// The store is caller-owned: the daemon may resume an existing campaign
+  /// journal into it, or share it with an in-process Campaign::run(store).
+  TuningServer(harness::ResultStore& store, Options options);
+  ~TuningServer();  ///< stop()s if still running
+
+  TuningServer(const TuningServer&) = delete;
+  TuningServer& operator=(const TuningServer&) = delete;
+
+  /// Bind, listen and start the accept loop. Throws hpac::Error when the
+  /// socket path is unusable.
+  void start();
+
+  /// Block until a client sends a shutdown request (or `stop` is called
+  /// from another thread).
+  void wait();
+
+  /// Graceful shutdown: stop accepting, unblock and join every connection
+  /// thread, remove the socket file. Idempotent.
+  void stop();
+
+  const harness::TuningService& service() const { return service_; }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  void accept_loop(int listen_fd);
+  void serve_connection(int fd, std::uint64_t connection_id);
+
+  Options options_;
+  harness::TuningService service_;
+
+  std::mutex mutex_;
+  std::condition_variable stop_requested_cv_;
+  bool stop_requested_ = false;  ///< shutdown frame seen or stop() entered
+  bool running_ = false;
+  int listen_fd_ = -1;
+  std::uint64_t next_connection_ = 0;
+  /// Live connection fds, indexed by connection id; -1 once closed. stop()
+  /// shuts these down to unblock their reader threads before joining.
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace hpac::service

@@ -1,0 +1,107 @@
+#include "service/socket_io.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace hpac::service {
+
+namespace {
+
+sockaddr_un address_for(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  HPAC_REQUIRE(path.size() < sizeof(addr.sun_path),
+               "socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+void write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("socket write failed: ") + std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Fill `size` bytes. Returns false on EOF before the first byte; throws
+/// when EOF lands mid-buffer (the caller was promised a complete frame).
+bool read_all(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("socket read failed: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw ProtocolError("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int connect_unix(const std::string& path) {
+  const sockaddr_un addr = address_for(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HPAC_REQUIRE(fd >= 0, std::string("cannot create socket: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw Error("cannot connect to " + path + ": " + std::strerror(saved));
+  }
+  return fd;
+}
+
+int listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = address_for(path);
+  ::unlink(path.c_str());  // stale socket from a killed daemon
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HPAC_REQUIRE(fd >= 0, std::string("cannot create socket: ") + std::strerror(errno));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw Error("cannot listen on " + path + ": " + std::strerror(saved));
+  }
+  return fd;
+}
+
+void write_frame(int fd, MessageType type, std::string_view body) {
+  const std::string frame = encode_frame(type, body);
+  write_all(fd, frame.data(), frame.size());
+}
+
+bool read_frame(int fd, Frame& frame) {
+  char prefix[4];
+  if (!read_all(fd, prefix, sizeof(prefix))) return false;
+  std::size_t offset = 0;
+  const std::uint32_t length =
+      get_u32(std::string_view(prefix, sizeof(prefix)), offset);
+  if (length > kMaxPayload) {
+    throw ProtocolError("frame payload of " + std::to_string(length) +
+                        " bytes exceeds bound");
+  }
+  std::string payload(length, '\0');
+  if (!read_all(fd, payload.data(), payload.size())) {
+    throw ProtocolError("connection closed mid-frame");
+  }
+  frame = decode_frame(payload);
+  return true;
+}
+
+}  // namespace hpac::service

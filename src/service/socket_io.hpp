@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "service/protocol.hpp"
+
+namespace hpac::service {
+
+/// Blocking POSIX helpers shared by the server and the client — the whole
+/// transport is these three calls plus close(2).
+
+/// Connect a Unix-domain stream socket to `path`. Throws hpac::Error when
+/// the path is too long for sockaddr_un or the connect fails.
+int connect_unix(const std::string& path);
+
+/// Bind + listen a Unix-domain stream socket at `path` (unlinking a stale
+/// socket file first). Throws hpac::Error on failure.
+int listen_unix(const std::string& path, int backlog);
+
+/// Write one complete frame; loops over partial writes and EINTR. Throws
+/// hpac::Error when the peer is gone.
+void write_frame(int fd, MessageType type, std::string_view body);
+
+/// Read one complete frame. Returns false on clean EOF at a frame
+/// boundary (peer closed between messages); throws ProtocolError on a
+/// truncated frame and hpac::Error on read failure.
+bool read_frame(int fd, Frame& frame);
+
+}  // namespace hpac::service

@@ -14,6 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +30,7 @@
 #include "mislabeled_fixture.hpp"
 #include "pragma/parser.hpp"
 #include "sim/device.hpp"
+#include "sim/launch.hpp"
 
 namespace {
 
@@ -301,6 +305,166 @@ TEST(AuditApps, AllRegisteredAppsPassEnforceAcrossTechniquesAndDevices) {
       }
     }
   }
+}
+
+// --- extent-image memoization (audit::ExtentImageCache) ----------------------
+
+/// A minimal honest region whose commit extents the cache can model:
+/// item i writes one double at `target[index_of(i)]`.
+struct CacheRegion {
+  std::uint64_t n = 256;
+  std::vector<double> out;
+  std::vector<double> alt;  ///< second buffer for the ping-pong case
+
+  /// `index_of` maps item -> element of the committed buffer (identity by
+  /// default) and must stay a permutation: the regions here are honest,
+  /// the cache is what is under test. `flip()` swaps the committed buffer
+  /// between launches (ping-pong).
+  approx::RegionBinding binding(std::function<std::uint64_t(std::uint64_t)> index_of =
+                                    [](std::uint64_t i) { return i; }) {
+    out.assign(n, -1.0);
+    alt.assign(n, -1.0);
+    current_ = &out;
+    index_of_ = std::move(index_of);
+    approx::RegionBinding b;
+    b.name = "cache.region";
+    b.in_dims = 1;
+    b.out_dims = 1;
+    b.gather = [](std::uint64_t i, std::span<double> in) {
+      in[0] = static_cast<double>(i % 5);
+    };
+    b.accurate = [](std::uint64_t i, std::span<const double>, std::span<double> o) {
+      o[0] = static_cast<double>(i);
+    };
+    b.accurate_cost = [](std::uint64_t) { return 50.0; };
+    b.commit = [this](std::uint64_t i, std::span<const double> o) {
+      (*current_)[index_of_(i)] = o[0];
+    };
+    b.independent_items = true;  // index_of is a permutation
+    b.commit_extents = [this](std::uint64_t i, approx::audit::ExtentSink& sink) {
+      sink.writes(current_->data() + index_of_(i), sizeof(double));
+    };
+    return b;
+  }
+
+  void flip() { current_ = current_ == &out ? &alt : &out; }
+  std::vector<double>& current() { return *current_; }
+
+ private:
+  std::vector<double>* current_ = nullptr;
+  std::function<std::uint64_t(std::uint64_t)> index_of_;
+};
+
+approx::ExecTuning cache_tuning(bool extent_cache = true) {
+  approx::ExecTuning tuning = serial_audit(AuditMode::kReport, true);
+  tuning.audit_extent_cache = extent_cache;
+  return tuning;
+}
+
+void run_once(const approx::RegionExecutor& executor, CacheRegion& region,
+              const approx::RegionBinding& binding) {
+  const sim::LaunchConfig launch = sim::launch_for_items_per_thread(region.n, 1, 128);
+  const approx::RegionReport report =
+      executor.run(pragma::parse_approx("none"), binding, region.n, launch);
+  EXPECT_TRUE(report.stats.conflicts.empty());
+  for (std::uint64_t i = 0; i < region.n; ++i) {
+    SCOPED_TRACE(i);
+    // A permutation of identity values covers every element exactly once.
+    EXPECT_GE(region.current()[i], 0.0);
+  }
+}
+
+TEST(AuditExtentCache, RepeatedLaunchSkipsTheWalk) {
+  CacheRegion region;
+  approx::RegionExecutor executor(sim::v100());
+  executor.set_tuning(cache_tuning());
+  const approx::RegionBinding binding = region.binding();
+
+  run_once(executor, region, binding);
+  auto stats = executor.audit_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.non_affine, 0u);
+
+  run_once(executor, region, binding);
+  run_once(executor, region, binding);
+  stats = executor.audit_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);  // one full walk total
+  EXPECT_EQ(stats.hits, 2u);
+
+  // A different item count is a different image: full walk again.
+  const std::uint64_t full = region.n;
+  region.n = full / 2;
+  run_once(executor, region, binding);
+  stats = executor.audit_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  region.n = full;
+}
+
+TEST(AuditExtentCache, NegativeStrideIsAffineToo) {
+  CacheRegion region;
+  const std::uint64_t n = region.n;
+  approx::RegionExecutor executor(sim::v100());
+  executor.set_tuning(cache_tuning());
+  // Reversal: base = &out[n-1], per-item displacement -sizeof(double) in
+  // wrapping address arithmetic.
+  const approx::RegionBinding binding =
+      region.binding([n](std::uint64_t i) { return n - 1 - i; });
+
+  run_once(executor, region, binding);
+  run_once(executor, region, binding);
+  const auto stats = executor.audit_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.non_affine, 0u);
+}
+
+TEST(AuditExtentCache, PingPongBuffersOccupySeparateVariants) {
+  CacheRegion region;
+  approx::RegionExecutor executor(sim::v100());
+  executor.set_tuning(cache_tuning());
+  const approx::RegionBinding binding = region.binding();
+
+  // First lap over each buffer walks; every later lap probes and hits.
+  for (int lap = 0; lap < 4; ++lap) {
+    run_once(executor, region, binding);
+    region.flip();
+  }
+  const auto stats = executor.audit_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);  // one walk per buffer
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST(AuditExtentCache, NonAffinePatternIsNeverServedFromCache) {
+  CacheRegion region;
+  const std::uint64_t n = region.n;
+  approx::RegionExecutor executor(sim::v100());
+  executor.set_tuning(cache_tuning());
+  // Piecewise-affine permutation (even items first): item 2 breaks the
+  // stride fixed by items 0 and 1, so no single affine model fits.
+  const approx::RegionBinding binding = region.binding(
+      [n](std::uint64_t i) { return i % 2 == 0 ? i / 2 : n / 2 + i / 2; });
+
+  run_once(executor, region, binding);
+  run_once(executor, region, binding);
+  const auto stats = executor.audit_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);  // rebuilt exactly, per launch
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.non_affine, 2u);
+}
+
+TEST(AuditExtentCache, KnobOffLeavesTheCacheUntouched) {
+  CacheRegion region;
+  approx::RegionExecutor executor(sim::v100());
+  executor.set_tuning(cache_tuning(/*extent_cache=*/false));
+  const approx::RegionBinding binding = region.binding();
+
+  run_once(executor, region, binding);
+  run_once(executor, region, binding);
+  const auto stats = executor.audit_cache_stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.non_affine, 0u);
 }
 
 }  // namespace
