@@ -12,11 +12,22 @@
 //   hpac_campaign --benchmarks=kmeans,lulesh --devices=v100,mi250x,a100
 //                 --ipt=8,64 --csv=campaign.csv   (one command line)
 //   hpac_campaign --sweep=perfo --threads=4 --csv=perfo.csv
+//
+// Distributed mode (lease-coordinated multi-process sweeps, see the
+// README's "Distributed sweeps" section): every invocation must use the
+// identical plan flags, or the shared lease journal rejects the joiner.
+//   hpac_campaign --dist-dir=sweep/ --workers=4        (fork a local fleet)
+//   hpac_campaign --dist-dir=sweep/ --worker-id=nodeA  (join as one worker)
+//   hpac_campaign --dist-dir=sweep/ --finalize-only    (merge results.csv)
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "approx/audit.hpp"
 #include "approx/region.hpp"
@@ -26,7 +37,9 @@
 #include "common/table.hpp"
 #include "harness/analysis.hpp"
 #include "harness/campaign.hpp"
+#include "harness/dist_campaign.hpp"
 #include "harness/params.hpp"
+#include "harness/record.hpp"
 
 using namespace hpac;
 
@@ -37,10 +50,16 @@ namespace {
                "usage: %s [--benchmarks=a,b,...] [--devices=v100,mi250x,a100]\n"
                "          [--sweep=curated|taf|iact|perfo] [--ipt=8,64]\n"
                "          [--threads=N] [--max-error=PCT] [--csv=FILE]\n"
-               "          [--audit=off|report|enforce]\n\n"
+               "          [--audit=off|report|enforce]\n"
+               "          [--dist-dir=DIR [--workers=N | --worker-id=NAME |\n"
+               "           --finalize-only] [--lease-ttl-ms=N] [--heartbeat-ms=N]\n"
+               "           [--claim-chunk=N] [--journal-mode=append|rename]]\n\n"
                "Defaults: all benchmarks, the paper's two devices, the curated\n"
                "spec sets. --csv doubles as the resume checkpoint. --audit runs\n"
-               "the whole campaign under the commit-conflict auditor.\n\nbenchmarks:",
+               "the whole campaign under the commit-conflict auditor. --dist-dir\n"
+               "switches to lease-coordinated multi-process mode: --workers forks\n"
+               "a local fleet and merges, --worker-id joins DIR as one worker\n"
+               "(merge later with --finalize-only).\n\nbenchmarks:",
                argv0);
   for (const auto& name : apps::benchmark_names()) std::fprintf(stderr, " %s", name.c_str());
   std::fprintf(stderr, "\n");
@@ -68,6 +87,97 @@ std::uint64_t parse_count(const char* flag, const std::string& value, bool allow
   return static_cast<std::uint64_t>(parsed);
 }
 
+void print_per_device_table(const std::vector<harness::RunRecord>& records,
+                            double max_error) {
+  TextTable table({"device", "geomean best", "feasible", "configs"});
+  for (const auto& row : harness::per_device_geomean_best(records, max_error)) {
+    table.add_row({row.device,
+                   row.geomean_best > 0 ? strings::format("%.2fx", row.geomean_best) : "-",
+                   std::to_string(row.feasible), std::to_string(row.total)});
+  }
+  std::printf("\nper-device best under %.1f%% error (the paper's portability view):\n%s",
+              max_error, table.render().c_str());
+}
+
+int finalize_and_report(const harness::DistributedCampaign& dist, double max_error) {
+  const auto merge = dist.finalize();
+  std::printf("finalized %s: %zu tuples merged from %zu worker journal(s)"
+              " (%zu duplicate row(s) dropped%s%s)\n",
+              dist.results_path().c_str(), merge.merged, merge.journals,
+              merge.duplicates,
+              merge.conflicting
+                  ? strings::format(", %zu CONFLICTING", merge.conflicting).c_str()
+                  : "",
+              merge.stale ? strings::format(", %zu stale", merge.stale).c_str() : "");
+  const harness::ResultDb db = harness::ResultDb::load(dist.results_path());
+  print_per_device_table(db.records(), max_error);
+  return merge.conflicting == 0 ? 0 : 1;
+}
+
+/// Run the lease-coordinated multi-process mode (--dist-dir).
+int run_distributed(const harness::Campaign& campaign, const std::string& dist_dir,
+                    const std::string& worker_id, std::uint64_t workers,
+                    bool finalize_only, harness::DistributedCampaign::Options opt,
+                    double max_error) {
+  opt.dir = dist_dir;
+  opt.worker = worker_id.empty() ? "w" + std::to_string(::getpid()) : worker_id;
+  harness::DistributedCampaign dist(campaign, opt);
+  std::printf("distributed campaign in %s: %zu tuples, %zu shards (plan %s)\n",
+              dist_dir.c_str(), campaign.tuple_count(), campaign.shard_count(),
+              strings::format("%016llx",
+                              static_cast<unsigned long long>(
+                                  harness::DistributedCampaign::plan_fingerprint(campaign)))
+                  .c_str());
+  if (finalize_only) return finalize_and_report(dist, max_error);
+
+  if (workers > 1) {
+    // Fork a local fleet: each child is a full worker process with its own
+    // journal; the parent waits and merges.
+    std::vector<pid_t> pids;
+    for (std::uint64_t i = 0; i < workers; ++i) {
+      const pid_t pid = ::fork();
+      if (pid == 0) {
+        try {
+          harness::DistributedCampaign::Options child_opt = opt;
+          child_opt.worker = opt.worker + "." + std::to_string(i);
+          harness::DistributedCampaign child(campaign, child_opt);
+          const auto stats = child.run_worker();
+          std::printf("  worker %s: %zu evaluated, %zu restored, %zu reclaimed\n",
+                      child_opt.worker.c_str(), stats.evaluated, stats.restored,
+                      stats.reclaimed);
+          std::_Exit(0);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "worker %llu failed: %s\n",
+                       static_cast<unsigned long long>(i), e.what());
+          std::_Exit(1);
+        }
+      }
+      pids.push_back(pid);
+    }
+    bool ok = true;
+    for (const pid_t pid : pids) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "error: a worker failed; rerun to resume, then "
+                           "--finalize-only to merge\n");
+      return 1;
+    }
+    return finalize_and_report(dist, max_error);
+  }
+
+  const auto stats = dist.run_worker();
+  std::printf("worker %s done: %zu evaluated, %zu restored from own journal, "
+              "%zu lease(s) reclaimed, %zu lost, baselines %zu computed / %zu loaded\n",
+              opt.worker.c_str(), stats.evaluated, stats.restored, stats.reclaimed,
+              stats.lost, stats.baselines_computed, stats.baselines_loaded);
+  std::printf("merge the fleet's journals with: --dist-dir=%s --finalize-only\n",
+              dist_dir.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,6 +187,11 @@ int main(int argc, char** argv) {
   std::string sweep = "curated";
   std::string audit = "off";
   double max_error = 10.0;
+  std::string dist_dir;
+  std::string worker_id;
+  std::uint64_t workers = 0;
+  bool finalize_only = false;
+  harness::DistributedCampaign::Options dist_opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg](const char* key) -> std::optional<std::string> {
@@ -101,9 +216,39 @@ int main(int argc, char** argv) {
       }
     } else if (auto v8 = value("--audit")) {
       audit = *v8;
+    } else if (auto v9 = value("--dist-dir")) {
+      dist_dir = *v9;
+    } else if (auto v10 = value("--worker-id")) {
+      worker_id = *v10;
+    } else if (auto v11 = value("--workers")) {
+      workers = parse_count("--workers", *v11, /*allow_zero=*/false);
+    } else if (arg == "--finalize-only") {
+      finalize_only = true;
+    } else if (auto v12 = value("--lease-ttl-ms")) {
+      dist_opt.ttl_ms =
+          static_cast<std::uint32_t>(parse_count("--lease-ttl-ms", *v12, false));
+    } else if (auto v13 = value("--heartbeat-ms")) {
+      dist_opt.heartbeat_ms =
+          static_cast<std::uint32_t>(parse_count("--heartbeat-ms", *v13, true));
+    } else if (auto v14 = value("--claim-chunk")) {
+      dist_opt.claim_chunk =
+          static_cast<std::size_t>(parse_count("--claim-chunk", *v14, false));
+    } else if (auto v15 = value("--journal-mode")) {
+      if (*v15 == "append") {
+        dist_opt.mode = harness::LeaseJournal::AppendMode::kAtomicAppend;
+      } else if (*v15 == "rename") {
+        dist_opt.mode = harness::LeaseJournal::AppendMode::kRenameRewrite;
+      } else {
+        usage(argv[0]);
+      }
     } else {
       usage(argv[0]);
     }
+  }
+  if (dist_dir.empty() &&
+      (!worker_id.empty() || workers > 0 || finalize_only)) {
+    std::fprintf(stderr, "error: --workers/--worker-id/--finalize-only need --dist-dir\n");
+    return 2;
   }
   const auto audit_mode = approx::audit::audit_mode_from_string(audit);
   if (!audit_mode) usage(argv[0]);
@@ -137,6 +282,10 @@ int main(int argc, char** argv) {
 
   try {
     harness::Campaign campaign(plan);
+    if (!dist_dir.empty()) {
+      return run_distributed(campaign, dist_dir, worker_id, workers, finalize_only,
+                             dist_opt, max_error);
+    }
     std::printf("campaign: %zu benchmarks x %zu devices, %zu items-per-thread values%s\n",
                 plan.benchmarks.size(), plan.devices.size(), plan.items_per_thread.size(),
                 plan.output_path.empty() ? " (in-memory, no checkpoint)" : "");
@@ -151,15 +300,7 @@ int main(int argc, char** argv) {
                   approx::audit::to_string(*audit_mode), result.audit_flagged);
     }
 
-    TextTable table({"device", "geomean best", "feasible", "configs"});
-    for (const auto& row :
-         harness::per_device_geomean_best(result.db.records(), max_error)) {
-      table.add_row({row.device,
-                     row.geomean_best > 0 ? strings::format("%.2fx", row.geomean_best) : "-",
-                     std::to_string(row.feasible), std::to_string(row.total)});
-    }
-    std::printf("\nper-device best under %.1f%% error (the paper's portability view):\n%s",
-                max_error, table.render().c_str());
+    print_per_device_table(result.db.records(), max_error);
     if (!plan.output_path.empty()) {
       std::printf("\nresults in %s — rerun the same command to verify resume is a no-op\n",
                   plan.output_path.c_str());

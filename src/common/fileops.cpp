@@ -1,0 +1,167 @@
+#include "common/fileops.hpp"
+
+#include <fcntl.h>
+#include <limits.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hpac::fileops {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw Error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string hex16(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex16(std::string_view text, std::uint64_t& out) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  out = value;
+  return true;
+}
+
+void ensure_dir(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec || !std::filesystem::is_directory(path)) {
+    throw Error("cannot create directory " + path + (ec ? ": " + ec.message() : ""));
+  }
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    if (errno == ENOENT || !std::filesystem::exists(path)) return false;
+    throw Error("cannot open " + path);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) throw Error("read failed: " + path);
+  out = os.str();
+  return true;
+}
+
+void write_file_atomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    HPAC_REQUIRE(out.good(), "cannot create " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    HPAC_REQUIRE(out.good(), "write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw_errno("cannot rename", path);
+  }
+}
+
+bool publish_exclusive(const std::string& tmp_path, const std::string& target) {
+  const int rc = ::link(tmp_path.c_str(), target.c_str());
+  const int saved_errno = errno;
+  ::unlink(tmp_path.c_str());
+  if (rc == 0) return true;
+  if (saved_errno == EEXIST) return false;
+  errno = saved_errno;
+  throw_errno("cannot link", target);
+}
+
+// --- FileLock ----------------------------------------------------------------
+
+FileLock::FileLock(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw_errno("cannot open lock file", path);
+  int rc;
+  do {
+    rc = ::flock(fd_, LOCK_EX);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("cannot lock", path);
+  }
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) ::close(fd_);  // close releases the flock
+}
+
+// --- AppendFile --------------------------------------------------------------
+
+AppendFile::AppendFile(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) throw_errno("cannot open for append", path);
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void AppendFile::append(std::string_view record) {
+  HPAC_REQUIRE(!record.empty(), "empty append record");
+  // The atomicity claim only holds for a single write(2); take the
+  // sidecar lock for records too large to trust it.
+  std::unique_ptr<FileLock> lock;
+  if (record.size() >= PIPE_BUF) lock = std::make_unique<FileLock>(path_ + ".lock");
+  ssize_t written;
+  do {
+    written = ::write(fd_, record.data(), record.size());
+  } while (written < 0 && errno == EINTR);
+  if (written < 0) throw_errno("append failed", path_);
+  // A short write of an O_APPEND record would tear it for every reader;
+  // there is no safe way to continue (a retry would interleave with
+  // concurrent appenders), so treat it as fatal.
+  HPAC_REQUIRE(static_cast<std::size_t>(written) == record.size(),
+               "short append write: " + path_);
+}
+
+void AppendFile::append_partial_for_test(std::string_view bytes) {
+  ssize_t written;
+  do {
+    written = ::write(fd_, bytes.data(), bytes.size());
+  } while (written < 0 && errno == EINTR);
+  if (written < 0) throw_errno("append failed", path_);
+}
+
+}  // namespace hpac::fileops

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hpac::fileops {
+
+/// FNV-1a 64-bit hash — the integrity checksum for lease-journal records
+/// and plan fingerprints. Stable across platforms (byte-wise, unsigned).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Fixed-width 16-digit lowercase hex of a 64-bit value, and its strict
+/// inverse (exactly 16 hex digits, nothing else).
+std::string hex16(std::uint64_t value);
+bool parse_hex16(std::string_view text, std::uint64_t& out);
+
+/// mkdir -p. Throws hpac::Error when the path exists as a non-directory
+/// or creation fails.
+void ensure_dir(const std::string& path);
+
+/// Read a whole file into `out`. Returns false when the file does not
+/// exist (out untouched); throws hpac::Error on a read failure.
+bool read_file(const std::string& path, std::string& out);
+
+/// Write-to-temp + rename(2): readers only ever observe the old bytes or
+/// the complete new bytes, never a prefix. The temp file lives in the
+/// target's directory so the rename stays within one filesystem.
+void write_file_atomic(const std::string& path, std::string_view bytes);
+
+/// Atomically publish `tmp_path` at `target` only if nothing exists there
+/// yet, via link(2) — the one create primitive that fails (EEXIST)
+/// instead of clobbering, on local filesystems and NFS alike. The temp
+/// file is unlinked in both outcomes. Returns true when this caller won
+/// the creation race.
+bool publish_exclusive(const std::string& tmp_path, const std::string& target);
+
+/// Advisory whole-file exclusive lock (flock) held for the object's
+/// lifetime. Opens (creating if needed) `path` and blocks until the lock
+/// is acquired. Used to serialize rename-rewrite journal appends and
+/// oversized append-mode records.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path);
+  ~FileLock();
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+/// An O_APPEND file descriptor. `append` issues the record as ONE
+/// write(2): for records under PIPE_BUF on a local filesystem the kernel
+/// serializes the implicit seek-to-end + write against concurrent
+/// appenders, so records from many processes never interleave and a
+/// SIGKILL cannot leave a partial record (the syscall either ran or it
+/// did not). Records at or above PIPE_BUF additionally take an flock on
+/// `path + ".lock"` for the duration of the write.
+class AppendFile {
+ public:
+  explicit AppendFile(const std::string& path);
+  ~AppendFile();
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  void append(std::string_view record);
+
+  /// Deliberately write only `bytes` — no atomicity, no completion. This
+  /// exists for the fault-injection rig to simulate a torn append (a
+  /// partial record a crashed writer left behind); production code never
+  /// calls it.
+  void append_partial_for_test(std::string_view bytes);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace hpac::fileops

@@ -90,6 +90,13 @@ Campaign::Campaign(CampaignPlan plan) : plan_(std::move(plan)) {
   }
 }
 
+Campaign::ShardView Campaign::shard_view(std::size_t index) const {
+  HPAC_REQUIRE(index < shards_.size(), "shard index out of range");
+  const Shard& shard = shards_[index];
+  return ShardView{shard.benchmark, shard.device, *shard.specs, shard.first_tuple,
+                   shard.tuple_count};
+}
+
 CampaignResult Campaign::run() {
   // The store re-creates the historical checkpoint behavior exactly:
   // absorb any existing journal (torn tail dropped), append-mode flushed

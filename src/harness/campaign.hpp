@@ -111,6 +111,26 @@ class Campaign {
 
   const CampaignPlan& plan() const { return plan_; }
 
+  /// Tuple-level introspection for external drivers: the distributed
+  /// campaign claims tuple leases against exactly this enumeration, so the
+  /// index <-> (benchmark, device, spec, ipt) mapping is shared state
+  /// between cooperating processes and must stay deterministic for a
+  /// given plan (it is: construction order is the plan's axis order).
+  std::size_t tuple_count() const { return keys_.size(); }
+  const std::vector<std::string>& tuple_keys() const { return keys_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Read-only view of one (benchmark, device) shard; references stay
+  /// valid for the Campaign's lifetime.
+  struct ShardView {
+    const std::string& benchmark;
+    const sim::DeviceConfig& device;
+    const std::vector<pragma::ApproxSpec>& specs;
+    std::size_t first_tuple;
+    std::size_t tuple_count;
+  };
+  ShardView shard_view(std::size_t index) const;
+
  private:
   struct Shard {
     std::string benchmark;

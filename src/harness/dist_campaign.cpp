@@ -1,0 +1,458 @@
+#include "harness/dist_campaign.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "apps/registry.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/fileops.hpp"
+#include "common/strings.hpp"
+#include "harness/explorer.hpp"
+#include "harness/result_store.hpp"
+
+namespace hpac::harness {
+
+namespace {
+
+constexpr std::uint32_t kPollMs = 20;
+
+/// Fault-injection hook (tests only): HPAC_DIST_TEST_KILL_AFTER=<k>
+/// SIGKILLs this process right after its k-th result row is flushed —
+/// after the append, before the release record — the worst-ordered crash
+/// the recovery contract has to absorb.
+int kill_after_target() {
+  static const int target = [] {
+    const char* env = std::getenv("HPAC_DIST_TEST_KILL_AFTER");
+    return env != nullptr ? std::atoi(env) : 0;
+  }();
+  return target;
+}
+
+std::atomic<int> g_appends{0};
+
+void maybe_kill_after_append() {
+  const int target = kill_after_target();
+  if (target > 0 && g_appends.fetch_add(1) + 1 == target) {
+    ::raise(SIGKILL);
+    for (;;) ::pause();  // unreachable
+  }
+}
+
+/// Fault-injection hook (tests only): HPAC_DIST_TEST_STALL_MS=<ms> makes
+/// the FIRST evaluation of this process touch HPAC_DIST_TEST_STALL_MARKER
+/// and then sleep — a deterministic window in which the test can SIGSTOP
+/// the worker while it holds live leases (the lease-expiry scenario).
+void maybe_stall_for_test() {
+  static const long stall_ms = [] {
+    const char* env = std::getenv("HPAC_DIST_TEST_STALL_MS");
+    return env != nullptr ? std::atol(env) : 0L;
+  }();
+  if (stall_ms <= 0) return;
+  static std::atomic<bool> done{false};
+  if (done.exchange(true)) return;
+  if (const char* marker = std::getenv("HPAC_DIST_TEST_STALL_MARKER")) {
+    fileops::write_file_atomic(marker, "stalled\n");
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+}
+
+std::string double_text(double value) { return cell_text(CsvCell(value)); }
+
+std::string serialize_baseline(const std::string& benchmark, const std::string& device,
+                               const BaselineSummary& b) {
+  std::ostringstream os;
+  os << "hpac-baseline v1\n";
+  os << "benchmark " << benchmark << "\n";
+  os << "device " << device << "\n";
+  os << "seconds " << double_text(b.seconds) << "\n";
+  os << "iterations " << double_text(b.iterations) << "\n";
+  os << "qoi " << b.qoi.size();
+  for (const double v : b.qoi) os << ' ' << double_text(v);
+  os << "\n";
+  os << "qoi_labels " << b.qoi_labels.size();
+  for (const int v : b.qoi_labels) os << ' ' << v;
+  os << "\n";
+  return os.str();
+}
+
+BaselineSummary parse_baseline(const std::string& text, const std::string& benchmark,
+                               const std::string& device, const std::string& path) {
+  const auto fail = [&](const std::string& why) -> Error {
+    return Error("bad baseline cache " + path + ": " + why);
+  };
+  const std::vector<std::string> lines = strings::split(text, '\n');
+  if (lines.size() < 7 || lines[0] != "hpac-baseline v1") throw fail("bad header");
+  const auto field = [&](std::size_t i, const std::string& name) -> std::string {
+    const std::string prefix = name + " ";
+    if (lines[i].rfind(prefix, 0) != 0) throw fail("expected '" + name + "' line");
+    return lines[i].substr(prefix.size());
+  };
+  if (field(1, "benchmark") != benchmark || field(2, "device") != device) {
+    throw fail("cached for a different (benchmark, device)");
+  }
+  BaselineSummary b;
+  if (!strings::parse_double(field(3, "seconds"), b.seconds) ||
+      !strings::parse_double(field(4, "iterations"), b.iterations)) {
+    throw fail("unparseable seconds/iterations");
+  }
+  const auto vec_field = [&](std::size_t i, const std::string& name,
+                             auto push) {
+    const std::vector<std::string> tok = strings::split(lines[i], ' ');
+    long long count = 0;
+    if (tok.size() < 2 || tok[0] != name || !strings::parse_int(tok[1], count) ||
+        count < 0 || tok.size() != static_cast<std::size_t>(count) + 2) {
+      throw fail("malformed '" + name + "' line");
+    }
+    for (std::size_t k = 0; k < static_cast<std::size_t>(count); ++k) push(tok[k + 2]);
+  };
+  vec_field(5, "qoi", [&](const std::string& t) {
+    double v = 0;
+    if (!strings::parse_double(t, v)) throw fail("unparseable qoi value");
+    b.qoi.push_back(v);
+  });
+  vec_field(6, "qoi_labels", [&](const std::string& t) {
+    long long v = 0;
+    if (!strings::parse_int(t, v)) throw fail("unparseable qoi label");
+    b.qoi_labels.push_back(static_cast<int>(v));
+  });
+  return b;
+}
+
+std::string row_signature(const RunRecord& record) {
+  std::ostringstream os;
+  write_csv_row(os, record.to_row());
+  return os.str();
+}
+
+}  // namespace
+
+// --- construction / paths ----------------------------------------------------
+
+DistributedCampaign::DistributedCampaign(const Campaign& campaign, Options options)
+    : campaign_(campaign), options_(std::move(options)) {
+  HPAC_REQUIRE(!options_.dir.empty(), "distributed campaign needs a directory");
+  HPAC_REQUIRE(!options_.worker.empty(), "distributed campaign needs a worker id");
+  HPAC_REQUIRE(options_.claim_chunk > 0, "claim chunk must be positive");
+  if (options_.heartbeat_ms == 0) {
+    options_.heartbeat_ms = std::max<std::uint32_t>(options_.ttl_ms / 3, 10);
+  }
+  fileops::ensure_dir(options_.dir);
+  fingerprint_ = plan_fingerprint(campaign_);
+}
+
+std::uint64_t DistributedCampaign::plan_fingerprint(const Campaign& campaign) {
+  std::string all;
+  for (const std::string& key : campaign.tuple_keys()) {
+    all += key;
+    all += '\n';
+  }
+  return fileops::fnv1a64(all);
+}
+
+std::string DistributedCampaign::lease_path() const {
+  return options_.dir + "/leases.journal";
+}
+
+std::string DistributedCampaign::results_path() const {
+  return options_.dir + "/results.csv";
+}
+
+std::string DistributedCampaign::worker_journal_path() const {
+  return options_.dir + "/results." + options_.worker + ".csv";
+}
+
+std::string DistributedCampaign::baseline_path(std::size_t shard) const {
+  return options_.dir + "/baseline." + std::to_string(shard) + ".txt";
+}
+
+// --- worker loop -------------------------------------------------------------
+
+struct DistributedCampaign::Runner {
+  const DistributedCampaign& dist;
+  const Campaign& campaign;
+  LeaseJournal journal;
+  ResultStore store;
+  WorkerStats stats;
+
+  struct ShardCtx {
+    std::unique_ptr<Benchmark> app;
+    std::unique_ptr<Explorer> explorer;
+  };
+  std::unordered_map<std::size_t, ShardCtx> ctxs;
+
+  // Heartbeat thread state.
+  std::mutex hb_mutex;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::thread hb_thread;
+
+  explicit Runner(const DistributedCampaign& d)
+      : dist(d),
+        campaign(d.campaign_),
+        journal(LeaseJournal::Options{
+            d.lease_path(), d.options_.worker, /*nonce=*/0,
+            d.campaign_.tuple_count() + d.campaign_.shard_count(), d.fingerprint_,
+            d.options_.mode, d.options_.ttl_ms}),
+        store(d.worker_journal_path()) {}
+
+  void start_heartbeats() {
+    hb_thread = std::thread([this] {
+      std::unique_lock<std::mutex> lock(hb_mutex);
+      while (!hb_stop) {
+        journal.heartbeat();
+        hb_cv.wait_for(lock, std::chrono::milliseconds(dist.options_.heartbeat_ms),
+                       [this] { return hb_stop; });
+      }
+    });
+  }
+
+  void stop_heartbeats() {
+    {
+      std::lock_guard<std::mutex> lock(hb_mutex);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    hb_thread.join();
+  }
+
+  std::size_t shard_of(std::size_t tuple) const {
+    for (std::size_t s = 0; s < campaign.shard_count(); ++s) {
+      const Campaign::ShardView view = campaign.shard_view(s);
+      if (tuple >= view.first_tuple && tuple < view.first_tuple + view.tuple_count) {
+        return s;
+      }
+    }
+    throw Error("tuple index outside every shard");
+  }
+
+  /// Per-shard evaluation context, created on first use. Ensuring the
+  /// baseline may block on (or take over) the shard's baseline lease.
+  ShardCtx& shard_ctx(std::size_t s) {
+    auto it = ctxs.find(s);
+    if (it != ctxs.end()) return it->second;
+    const Campaign::ShardView view = campaign.shard_view(s);
+    ShardCtx ctx;
+    ctx.app = apps::make_benchmark(view.benchmark);
+    ctx.explorer = std::make_unique<Explorer>(*ctx.app, view.device);
+    ensure_baseline(s, view, *ctx.explorer);
+    return ctxs.emplace(s, std::move(ctx)).first->second;
+  }
+
+  /// Load the shard's published baseline, or win the baseline lease and
+  /// compute + publish it once for the whole fleet. The lease index lives
+  /// past the campaign tuples (tuple_count + s), so baseline computation
+  /// inherits the same claim/heartbeat/expiry/reclaim machinery as real
+  /// work — a worker that dies mid-baseline is taken over like any other
+  /// crash.
+  void ensure_baseline(std::size_t s, const Campaign::ShardView& view,
+                       Explorer& explorer) {
+    const std::string path = dist.baseline_path(s);
+    const std::size_t lease = campaign.tuple_count() + s;
+    std::string text;
+    for (;;) {
+      if (fileops::read_file(path, text)) {
+        explorer.seed_baseline(
+            parse_baseline(text, view.benchmark, view.device.name, path));
+        ++stats.baselines_loaded;
+        return;
+      }
+      bool mine = !journal.claim(lease, 1).empty();
+      if (!mine) {
+        const LeaseJournal::TupleState st = journal.state(lease);
+        if (st.claimed && !st.released) {
+          // Owner may have crashed mid-baseline; only an expired lease
+          // actually transfers.
+          const auto outcome = journal.try_reclaim(lease);
+          if (outcome.won) ++stats.reclaimed;
+          mine = outcome.won;
+        }
+        // Released without a file cannot happen (publish precedes
+        // release); a release we raced with will show up as the file on
+        // the next iteration.
+      }
+      if (mine) {
+        if (fileops::read_file(path, text)) {
+          // Reclaimed from a worker that published but died before
+          // releasing: adopt its file.
+          journal.release(lease);
+          explorer.seed_baseline(
+              parse_baseline(text, view.benchmark, view.device.name, path));
+          ++stats.baselines_loaded;
+          return;
+        }
+        const BaselineSummary summary = explorer.baseline_summary();
+        fileops::write_file_atomic(
+            path, serialize_baseline(view.benchmark, view.device.name, summary));
+        ++stats.baselines_computed;
+        journal.release(lease);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+    }
+  }
+
+  void process_tuple(std::size_t tuple) {
+    const std::string& key = campaign.tuple_keys()[tuple];
+    if (store.snapshot().contains_key(key)) {
+      // Restart path: a previous incarnation persisted this tuple but died
+      // before releasing it. The result is durable; just release.
+      journal.release(tuple);
+      ++stats.restored;
+      return;
+    }
+    const std::size_t s = shard_of(tuple);
+    ShardCtx& ctx = shard_ctx(s);
+    if (!journal.holds(tuple)) {
+      // Lease was reclaimed (e.g. while this worker stalled in the
+      // baseline path); the new owner evaluates it.
+      ++stats.lost;
+      return;
+    }
+    maybe_stall_for_test();
+    const Campaign::ShardView view = campaign.shard_view(s);
+    const auto& ipts = campaign.plan().items_per_thread;
+    const std::size_t local = tuple - view.first_tuple;
+    const RunRecord record = ctx.explorer->run_config(view.specs[local / ipts.size()],
+                                                      ipts[local % ipts.size()]);
+    // Result row flushed BEFORE the release record: a released tuple
+    // always has a durable result somewhere, and a crash between the two
+    // leaves at most a duplicate evaluation for the merge to drop.
+    if (store.append_if_absent(record) != 0) maybe_kill_after_append();
+    journal.release(tuple);
+    ++stats.evaluated;
+  }
+
+  WorkerStats run() {
+    const std::size_t n = campaign.tuple_count();
+    start_heartbeats();
+    try {
+      // Spread workers over the tuple space instead of racing on index 0.
+      std::size_t rotate = static_cast<std::size_t>(journal.options().nonce) % n;
+      for (;;) {
+        const auto run = journal.next_unclaimed_run(n, dist.options_.claim_chunk, rotate);
+        if (run.has_value()) {
+          rotate = (run->first + run->second) % n;
+          for (const std::size_t tuple : journal.claim(run->first, run->second)) {
+            process_tuple(tuple);
+          }
+          continue;
+        }
+        if (journal.all_released(0, n)) break;
+        bool progress = false;
+        for (const std::size_t tuple : journal.expired(0, n)) {
+          const auto outcome = journal.try_reclaim(tuple);
+          if (outcome.won) {
+            ++stats.reclaimed;
+            process_tuple(tuple);
+            progress = true;
+          }
+        }
+        if (!progress) {
+          // Everything is claimed by live owners (or just released);
+          // wait for releases to land or leases to expire.
+          std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+        }
+      }
+    } catch (...) {
+      stop_heartbeats();
+      throw;
+    }
+    stop_heartbeats();
+    return stats;
+  }
+};
+
+DistributedCampaign::WorkerStats DistributedCampaign::run_worker() {
+  Runner runner(*this);
+  return runner.run();
+}
+
+// --- finalize ----------------------------------------------------------------
+
+DistributedCampaign::FinalizeStats DistributedCampaign::finalize() const {
+  namespace fs = std::filesystem;
+  FinalizeStats stats;
+  stats.planned = campaign_.tuple_count();
+
+  // Deterministic merge order: every worker journal, sorted by name.
+  // (Order only affects which duplicate is "first"; duplicates are
+  // byte-identical for deterministic evaluations anyway.)
+  std::vector<std::string> journals;
+  const std::string self = fs::path(results_path()).filename().string();
+  for (const auto& entry : fs::directory_iterator(options_.dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("results.", 0) == 0 && name.size() > 4 &&
+        name.compare(name.size() - 4, 4, ".csv") == 0 && name != self) {
+      journals.push_back(entry.path().string());
+    }
+  }
+  std::sort(journals.begin(), journals.end());
+  stats.journals = journals.size();
+
+  const std::vector<std::string>& keys = campaign_.tuple_keys();
+  std::unordered_map<std::string, std::size_t> index_of;
+  index_of.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) index_of.emplace(keys[i], i);
+
+  std::vector<std::optional<RunRecord>> chosen(keys.size());
+  std::vector<std::string> signatures(keys.size());
+  for (const std::string& path : journals) {
+    // drop_torn_tail: a worker killed mid-row must not block the merge.
+    const ResultDb db = ResultDb::load(path, /*drop_torn_tail=*/true);
+    for (const RunRecord& record : db.records()) {
+      const auto it = index_of.find(ResultStore::key_of(record));
+      if (it == index_of.end()) {
+        ++stats.stale;
+        continue;
+      }
+      const std::size_t i = it->second;
+      if (chosen[i].has_value()) {
+        ++stats.duplicates;  // kept-first: a re-evaluated (reclaimed) tuple
+        if (signatures[i] != row_signature(record)) ++stats.conflicting;
+        continue;
+      }
+      chosen[i] = record;
+      signatures[i] = row_signature(record);
+    }
+  }
+
+  std::size_t missing = 0;
+  for (const auto& record : chosen) missing += record.has_value() ? 0 : 1;
+  if (missing > 0) {
+    throw Error("distributed campaign incomplete: " + std::to_string(missing) + " of " +
+                std::to_string(keys.size()) + " tuples have no result in " +
+                options_.dir);
+  }
+
+  // Canonical plan order, published atomically — the same bytes
+  // Campaign::run + ResultStore::finalize produce (ResultDb::save both
+  // times).
+  ResultDb canonical;
+  for (auto& record : chosen) canonical.add(std::move(*record));
+  stats.merged = canonical.size();
+  const std::string tmp = results_path() + ".tmp." + std::to_string(::getpid());
+  canonical.save(tmp);
+  if (std::rename(tmp.c_str(), results_path().c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("cannot publish " + results_path());
+  }
+  return stats;
+}
+
+}  // namespace hpac::harness

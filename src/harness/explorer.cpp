@@ -31,6 +31,27 @@ const RunOutput& Explorer::baseline() {
   return baseline_output_;
 }
 
+BaselineSummary Explorer::baseline_summary() {
+  baseline();
+  BaselineSummary summary;
+  summary.qoi = baseline_output_.qoi;
+  summary.qoi_labels = baseline_output_.qoi_labels;
+  summary.iterations = baseline_output_.iterations;
+  summary.seconds = baseline_seconds_;
+  return summary;
+}
+
+void Explorer::seed_baseline(const BaselineSummary& summary) {
+  HPAC_REQUIRE(!have_baseline_,
+               "seed_baseline must run before the baseline is computed");
+  baseline_output_ = RunOutput{};
+  baseline_output_.qoi = summary.qoi;
+  baseline_output_.qoi_labels = summary.qoi_labels;
+  baseline_output_.iterations = summary.iterations;
+  baseline_seconds_ = summary.seconds;
+  have_baseline_ = true;
+}
+
 RunRecord Explorer::evaluate(Benchmark& bench, const pragma::ApproxSpec& spec,
                              std::uint64_t items_per_thread) const {
   RunRecord record;

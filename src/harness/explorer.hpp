@@ -17,6 +17,20 @@ struct ConfigRequest {
   std::uint64_t items_per_thread = 0;
 };
 
+/// The portion of a baseline run the evaluation path actually consumes:
+/// qoi/qoi_labels (for error_percent), the solver iteration count, and
+/// the scoped seconds the speedup ratio divides by. Everything else in the
+/// baseline's RunOutput is incidental, so this summary is sufficient to
+/// reproduce evaluation results bit-for-bit — which lets a distributed
+/// campaign compute each (benchmark, device) baseline once, persist it,
+/// and seed every other worker process from the file.
+struct BaselineSummary {
+  std::vector<double> qoi;
+  std::vector<int> qoi_labels;
+  double iterations = 0;
+  double seconds = 0;
+};
+
 /// Drives one benchmark through approximation configurations on one
 /// simulated device: the hpac-offload *execution harness* (paper §2.3).
 /// It runs the accurate program once as the baseline, then evaluates each
@@ -29,6 +43,16 @@ class Explorer {
   /// Run (or reuse) the accurate baseline at the benchmark's default
   /// launch geometry.
   const RunOutput& baseline();
+
+  /// Run (or reuse) the baseline and return the evaluation-relevant slice.
+  BaselineSummary baseline_summary();
+
+  /// Adopt a previously computed baseline instead of running one — the
+  /// distributed campaign's shared-baseline path. Evaluations after
+  /// seeding produce records identical to ones computed after a local
+  /// baseline() on the same benchmark/device (all runs deterministic).
+  /// Must be called before the baseline is computed or used.
+  void seed_baseline(const BaselineSummary& summary);
 
   /// Evaluate a single configuration and append it to the database;
   /// infeasible configurations (AC state exceeding shared memory,
