@@ -19,12 +19,14 @@
 //   hpac_campaign --dist-dir=sweep/ --workers=4        (fork a local fleet)
 //   hpac_campaign --dist-dir=sweep/ --worker-id=nodeA  (join as one worker)
 //   hpac_campaign --dist-dir=sweep/ --finalize-only    (merge results.csv)
+//   hpac_campaign --dist-dir=sweep/ --dist-status      (who holds what)
 
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -38,6 +40,7 @@
 #include "harness/analysis.hpp"
 #include "harness/campaign.hpp"
 #include "harness/dist_campaign.hpp"
+#include "harness/lease_journal.hpp"
 #include "harness/params.hpp"
 #include "harness/record.hpp"
 
@@ -52,14 +55,16 @@ namespace {
                "          [--threads=N] [--max-error=PCT] [--csv=FILE]\n"
                "          [--audit=off|report|enforce]\n"
                "          [--dist-dir=DIR [--workers=N | --worker-id=NAME |\n"
-               "           --finalize-only] [--lease-ttl-ms=N] [--heartbeat-ms=N]\n"
-               "           [--claim-chunk=N] [--journal-mode=append|rename]]\n\n"
+               "           --finalize-only | --dist-status] [--lease-ttl-ms=N]\n"
+               "           [--heartbeat-ms=N] [--claim-chunk=N]\n"
+               "           [--journal-mode=append|rename]]\n\n"
                "Defaults: all benchmarks, the paper's two devices, the curated\n"
                "spec sets. --csv doubles as the resume checkpoint. --audit runs\n"
                "the whole campaign under the commit-conflict auditor. --dist-dir\n"
                "switches to lease-coordinated multi-process mode: --workers forks\n"
                "a local fleet and merges, --worker-id joins DIR as one worker\n"
-               "(merge later with --finalize-only).\n\nbenchmarks:",
+               "(merge later with --finalize-only), --dist-status prints who\n"
+               "holds what (heartbeat ages judged against --lease-ttl-ms).\n\nbenchmarks:",
                argv0);
   for (const auto& name : apps::benchmark_names()) std::fprintf(stderr, " %s", name.c_str());
   std::fprintf(stderr, "\n");
@@ -112,6 +117,76 @@ int finalize_and_report(const harness::DistributedCampaign& dist, double max_err
   const harness::ResultDb db = harness::ResultDb::load(dist.results_path());
   print_per_device_table(db.records(), max_error);
   return merge.conflicting == 0 ? 0 : 1;
+}
+
+/// Human-readable view over the shared lease journal (--dist-status):
+/// who holds what, how stale each incarnation's heartbeat is relative to
+/// the TTL, and how much of the journal was unparseable. Pure read — it
+/// never joins the fleet, appends nothing, and needs no plan flags.
+int print_dist_status(const std::string& dist_dir, std::uint32_t ttl_ms) {
+  const std::string path = harness::DistributedCampaign::lease_path_in(dist_dir);
+  const harness::LeaseJournal::Inspection ins = harness::LeaseJournal::inspect(path);
+  const std::uint64_t now = harness::LeaseJournal::now_ms();
+
+  std::printf("lease journal %s: mode %s, %zu tuples, plan %016llx\n", path.c_str(),
+              ins.mode.c_str(), ins.domain,
+              static_cast<unsigned long long>(ins.fingerprint));
+  std::printf("records: %zu valid (%zu claims, %zu heartbeats, %zu releases, "
+              "%zu reclaims), %zu invalid line(s)\n",
+              ins.valid_records, ins.claims, ins.heartbeats, ins.releases,
+              ins.reclaims, ins.invalid_lines);
+
+  // Aggregate live holdings per incarnation (worker#nonce); released
+  // tuples no longer belong to anyone.
+  struct Holder {
+    std::string worker;
+    std::uint64_t nonce = 0;
+    std::size_t held = 0;
+  };
+  std::map<std::string, Holder> holders;
+  std::size_t released = 0;
+  std::size_t held = 0;
+  std::size_t unclaimed = 0;
+  for (const auto& tuple : ins.tuples) {
+    if (tuple.released) {
+      ++released;
+    } else if (tuple.claimed) {
+      ++held;
+      Holder& holder = holders[tuple.worker + "#" + std::to_string(tuple.nonce)];
+      holder.worker = tuple.worker;
+      holder.nonce = tuple.nonce;
+      ++holder.held;
+    } else {
+      ++unclaimed;
+    }
+  }
+  std::printf("tuples: %zu released, %zu held, %zu unclaimed\n", released, held,
+              unclaimed);
+
+  if (!holders.empty()) {
+    TextTable table({"worker", "nonce", "held", "last heartbeat", "lease"});
+    std::size_t expired = 0;
+    for (const auto& [key, holder] : holders) {
+      const auto seen_it = ins.last_seen.find(key);
+      const std::uint64_t seen = seen_it != ins.last_seen.end() ? seen_it->second : 0;
+      const std::uint64_t age = now >= seen ? now - seen : 0;
+      const bool live = seen != 0 && age <= ttl_ms;
+      if (!live) ++expired;
+      table.add_row({holder.worker, strings::format("%016llx",
+                                                    static_cast<unsigned long long>(
+                                                        holder.nonce)),
+                     std::to_string(holder.held),
+                     seen == 0 ? "never" : strings::format("%.1fs ago", age / 1000.0),
+                     live ? "live" : "EXPIRED (reclaimable)"});
+    }
+    std::printf("\nholders (TTL %ums):\n%s", ttl_ms, table.render().c_str());
+    if (expired > 0) {
+      std::printf("%zu incarnation(s) past the TTL — their tuples are "
+                  "reclaimable by any live worker\n",
+                  expired);
+    }
+  }
+  return 0;
 }
 
 /// Run the lease-coordinated multi-process mode (--dist-dir).
@@ -191,6 +266,7 @@ int main(int argc, char** argv) {
   std::string worker_id;
   std::uint64_t workers = 0;
   bool finalize_only = false;
+  bool dist_status = false;
   harness::DistributedCampaign::Options dist_opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -224,6 +300,8 @@ int main(int argc, char** argv) {
       workers = parse_count("--workers", *v11, /*allow_zero=*/false);
     } else if (arg == "--finalize-only") {
       finalize_only = true;
+    } else if (arg == "--dist-status") {
+      dist_status = true;
     } else if (auto v12 = value("--lease-ttl-ms")) {
       dist_opt.ttl_ms =
           static_cast<std::uint32_t>(parse_count("--lease-ttl-ms", *v12, false));
@@ -246,9 +324,21 @@ int main(int argc, char** argv) {
     }
   }
   if (dist_dir.empty() &&
-      (!worker_id.empty() || workers > 0 || finalize_only)) {
-    std::fprintf(stderr, "error: --workers/--worker-id/--finalize-only need --dist-dir\n");
+      (!worker_id.empty() || workers > 0 || finalize_only || dist_status)) {
+    std::fprintf(stderr,
+                 "error: --workers/--worker-id/--finalize-only/--dist-status "
+                 "need --dist-dir\n");
     return 2;
+  }
+  if (dist_status) {
+    // Pure inspection: no plan construction, no journal join — works even
+    // while a fleet is mid-sweep or after it crashed.
+    try {
+      return print_dist_status(dist_dir, dist_opt.ttl_ms);
+    } catch (const hpac::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
   const auto audit_mode = approx::audit::audit_mode_from_string(audit);
   if (!audit_mode) usage(argv[0]);

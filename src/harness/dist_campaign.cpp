@@ -166,7 +166,11 @@ std::uint64_t DistributedCampaign::plan_fingerprint(const Campaign& campaign) {
 }
 
 std::string DistributedCampaign::lease_path() const {
-  return options_.dir + "/leases.journal";
+  return lease_path_in(options_.dir);
+}
+
+std::string DistributedCampaign::lease_path_in(const std::string& dir) {
+  return dir + "/leases.journal";
 }
 
 std::string DistributedCampaign::results_path() const {

@@ -86,6 +86,9 @@ class DistributedCampaign {
   static std::uint64_t plan_fingerprint(const Campaign& campaign);
 
   std::string lease_path() const;
+  /// The journal location inside any fleet directory — for tooling (e.g.
+  /// a status view) that inspects a fleet without joining it.
+  static std::string lease_path_in(const std::string& dir);
   std::string results_path() const;
   std::string worker_journal_path() const;             ///< this worker's
   std::string baseline_path(std::size_t shard) const;  ///< shard's cache file

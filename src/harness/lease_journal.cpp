@@ -457,8 +457,7 @@ LeaseJournal::Inspection LeaseJournal::inspect(const std::string& path) {
   if (!fileops::read_file(path, bytes)) {
     throw Error("no lease journal at " + path);
   }
-  std::unordered_map<std::string, std::uint64_t> last_seen;
-  Replay replay{out.tuples, last_seen, &out};
+  Replay replay{out.tuples, out.last_seen, &out};
   std::size_t start = 0;
   bool saw_header = false;
   while (start < bytes.size()) {

@@ -89,6 +89,10 @@ class LeaseJournal {
     std::size_t domain = 0;
     std::uint64_t fingerprint = 0;
     std::vector<TupleState> tuples;
+    /// Newest timestamp per incarnation, keyed "worker#nonce" — what a
+    /// status view compares against the TTL to call an owner live or
+    /// expired.
+    std::unordered_map<std::string, std::uint64_t> last_seen;
     std::size_t valid_records = 0;
     std::size_t invalid_lines = 0;  ///< torn tail or mangled/glued lines
     std::size_t claims = 0;

@@ -1,5 +1,7 @@
 #include "harness/result_store.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <utility>
 
@@ -14,6 +16,25 @@ namespace {
 bool file_has_content(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   return in.good() && in.peek() != std::char_traits<char>::eof();
+}
+
+/// Bytes of `path` up to and including its final newline — the durable
+/// prefix of the journal. Anything past it is a torn row from a writer
+/// killed mid-append.
+std::streamoff durable_prefix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::streamoff keep = 0;
+  std::streamoff pos = 0;
+  char buffer[4096];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    const std::streamsize n = in.gcount();
+    for (std::streamsize i = 0; i < n; ++i) {
+      if (buffer[i] == '\n') keep = pos + i + 1;
+    }
+    pos += n;
+    if (n < static_cast<std::streamsize>(sizeof(buffer))) break;
+  }
+  return keep;
 }
 
 }  // namespace
@@ -51,9 +72,18 @@ std::string ResultStore::key_of(const RunRecord& record) {
                              record.items_per_thread);
 }
 
-ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
+ResultStore::ResultStore(std::string path, bool read_only)
+    : path_(std::move(path)), read_only_(read_only) {
   auto state = std::make_shared<Snapshot::State>();
-  const bool resuming = persistent() && file_has_content(path_);
+  // The durable prefix decides everything: a file whose final newline is
+  // its last durable byte resumes normally; a file with NO newline (a
+  // writer killed mid-header-write) has nothing durable at all and must
+  // not even be parsed — ResultDb::load would reject its torn header.
+  const std::streamoff durable =
+      persistent() && file_has_content(path_) ? durable_prefix(path_) : 0;
+  bool resuming = durable > 0;
+  HPAC_REQUIRE(!read_only_ || resuming,
+               "read-only result store needs an existing journal: " + path_);
   if (resuming) {
     // drop_torn_tail: a writer killed mid-append must not brick the store.
     const ResultDb journal = ResultDb::load(path_, /*drop_torn_tail=*/true);
@@ -69,7 +99,21 @@ ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
       ++load_stats_.restored;
     }
   }
-  if (persistent()) {
+  if (persistent() && !read_only_) {
+    if (file_has_content(path_)) {
+      // The load above *skipped* a torn trailing row (or, when nothing
+      // durable survived, the whole file); the file must shed it too, or
+      // the append stream below would glue the next row onto the half row
+      // — turning a recoverable torn tail into a corrupt mid-file line on
+      // the following reload.
+      std::ifstream probe(path_, std::ios::binary | std::ios::ate);
+      const std::streamoff size = probe.tellg();
+      probe.close();
+      if (durable < size) {
+        HPAC_REQUIRE(::truncate(path_.c_str(), durable) == 0,
+                     "cannot drop torn tail of result store journal: " + path_);
+      }
+    }
     journal_.open(path_, std::ios::app);
     HPAC_REQUIRE(journal_.good(), "cannot open result store journal: " + path_);
     if (!resuming) {
@@ -93,6 +137,7 @@ std::uint64_t ResultStore::append(const RunRecord& record) {
 
 std::uint64_t ResultStore::append_if_absent(const RunRecord& record) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
+  HPAC_REQUIRE(!read_only_, "result store is read-only: " + path_);
   HPAC_REQUIRE(!finalized_, "result store was finalized; no further appends");
   const std::shared_ptr<const Snapshot::State> current = snapshot().state_;
   std::string key = key_of(record);
@@ -114,6 +159,7 @@ std::uint64_t ResultStore::append_if_absent(const RunRecord& record) {
 
 void ResultStore::finalize(const ResultDb& canonical) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
+  HPAC_REQUIRE(!read_only_, "result store is read-only: " + path_);
   HPAC_REQUIRE(!finalized_, "result store was already finalized");
   finalized_ = true;
   if (!persistent()) return;

@@ -95,9 +95,18 @@ class ResultStore {
   /// only. An existing journal is absorbed first — torn trailing rows
   /// (writer killed mid-append) are dropped, duplicate tuples keep the
   /// first occurrence — and subsequent appends continue the same file in
-  /// append mode. A fresh file gets the canonical CSV header immediately,
-  /// so journal and final CSV share one format.
-  explicit ResultStore(std::string path = "");
+  /// append mode. Before appending resumes, a torn trailing row is also
+  /// truncated out of the file itself: leaving the half row in place would
+  /// make the next append glue onto it and corrupt a mid-file line. A
+  /// fresh file gets the canonical CSV header immediately, so journal and
+  /// final CSV share one format.
+  ///
+  /// `read_only` opens an existing journal (or finalized CSV) for serving
+  /// only: the file is never opened for writing, never truncated, and
+  /// every append throws. This is what lets a daemon serve a store that
+  /// another process owns — or a finalized artifact — without risking a
+  /// write to it.
+  explicit ResultStore(std::string path = "", bool read_only = false);
   ~ResultStore();
 
   ResultStore(const ResultStore&) = delete;
@@ -128,6 +137,7 @@ class ResultStore {
 
   const std::string& path() const { return path_; }
   bool persistent() const { return !path_.empty(); }
+  bool read_only() const { return read_only_; }
   const LoadStats& load_stats() const { return load_stats_; }
 
   /// Rewrite the journal file as the canonical CSV `db` serializes to
@@ -147,6 +157,7 @@ class ResultStore {
   }
 
   std::string path_;
+  bool read_only_ = false;
   LoadStats load_stats_;
   std::mutex writer_mutex_;        ///< serializes append/finalize
   std::ofstream journal_;          ///< open while persistent() && !finalized_

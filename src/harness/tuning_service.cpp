@@ -1,5 +1,7 @@
 #include "harness/tuning_service.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <utility>
 
 #include "apps/registry.hpp"
@@ -23,6 +25,8 @@ TuningService::TuningService(ResultStore& store, TuningServiceConfig config)
     : store_(store), config_(std::move(config)) {
   HPAC_REQUIRE(config_.max_pending > 0,
                "tuning service needs a positive admission bound");
+  HPAC_REQUIRE(config_.max_eval_failures > 0,
+               "tuning service needs a positive evaluation retry budget");
 }
 
 TuningService::~TuningService() = default;
@@ -30,6 +34,56 @@ TuningService::~TuningService() = default;
 TuningService::Stats TuningService::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+bool TuningService::nearest_known(const ResultStore::Snapshot& snap,
+                                  const Pending& pending, RunRecord& out) {
+  // A degraded answer must still be *about* the asked benchmark — a
+  // blackscholes config says nothing about kmeans. Within the benchmark,
+  // prefer (in order) feasible configs, the asked device, the asked
+  // technique, then the closest items-per-thread; final ties break on
+  // spec text and append order, so the choice is deterministic across
+  // runs and store layouts.
+  const TuningQuery& q = pending.query;
+  bool found = false;
+  int best_score = -1;
+  std::uint64_t best_ipt_gap = 0;
+  snap.for_each([&](const RunRecord& record) {
+    if (record.benchmark != q.benchmark) return;
+    const int score = (record.feasible ? 8 : 0) + (record.device == q.device ? 4 : 0) +
+                      (record.technique == pending.spec.technique ? 2 : 0);
+    const std::uint64_t ipt_gap = record.items_per_thread > q.items_per_thread
+                                      ? record.items_per_thread - q.items_per_thread
+                                      : q.items_per_thread - record.items_per_thread;
+    const bool better =
+        !found || score > best_score ||
+        (score == best_score &&
+         (ipt_gap < best_ipt_gap ||
+          (ipt_gap == best_ipt_gap && record.spec_text < out.spec_text)));
+    if (better) {
+      out = record;
+      best_score = score;
+      best_ipt_gap = ipt_gap;
+      found = true;
+    }
+  });
+  return found;
+}
+
+TuningAnswer TuningService::degrade_or(TuningStatus fallback, const Pending& pending,
+                                       const std::string& reason) {
+  TuningAnswer answer;
+  answer.error = reason;
+  RunRecord nearest;
+  if (nearest_known(store_.snapshot(), pending, nearest)) {
+    answer.status = TuningStatus::kDegraded;
+    answer.record = nearest;
+    ++stats_.degraded;
+  } else {
+    answer.status = fallback;
+    if (fallback == TuningStatus::kRejected) ++stats_.rejected;
+  }
+  return answer;
 }
 
 TuningAnswer TuningService::query(const TuningQuery& query, const std::string& client) {
@@ -56,8 +110,6 @@ TuningAnswer TuningService::query(const TuningQuery& query, const std::string& c
     answer.error = e.what();
     return answer;  // status defaults to kError
   }
-  // A copy, not a reference: `pending` is moved into the admission queue
-  // below, and this key must outlive that move.
   const std::string key = pending.key;
 
   // --- memoized fast path: one snapshot load, no evaluation machinery ---
@@ -74,100 +126,141 @@ TuningAnswer TuningService::query(const TuningQuery& query, const std::string& c
     }
   }
 
+  const Clock::time_point deadline =
+      query.deadline_ms > 0 ? Clock::now() + std::chrono::milliseconds(query.deadline_ms)
+                            : Clock::time_point::max();
+
   std::unique_lock<std::mutex> lock(mutex_);
   ++stats_.queries;
 
-  // --- admission: leave this loop with the tuple answered or enqueued ---
-  bool waited_on_peer = false;
+  // --- unified admission/evaluation loop. One loop instead of an admit
+  // phase followed by a wait phase: with deadlines, the thread that
+  // admitted a tuple may depart before it is evaluated, so ANY thread
+  // whose key is pending must be able to become the evaluator — otherwise
+  // coalesced waiters hang on work nobody owns. ---
+  bool we_admitted = false;  // our queue entry exists (we pushed it)
+  bool waited = false;       // we slept at least once on someone's progress
   for (;;) {
     {
       const ResultStore::Snapshot snap = store_.snapshot();
       if (const RunRecord* hit = snap.find_key(key)) {
         answer.record = *hit;
         answer.status = TuningStatus::kOk;
-        answer.memoized = !waited_on_peer;
-        if (waited_on_peer) {
-          ++stats_.coalesced;
+        if (we_admitted || waited) {
+          answer.memoized = false;
+          if (!we_admitted) ++stats_.coalesced;
         } else {
-          ++stats_.memoized;  // raced with a concurrent producer: still free
+          answer.memoized = true;  // raced with a concurrent producer: still free
+          ++stats_.memoized;
         }
         return answer;
       }
     }
-    if (inflight_.count(key) != 0) {
-      // Identical tuple already admitted by another query: coalesce onto
-      // that evaluation instead of queueing a duplicate.
-      waited_on_peer = true;
-      progress_.wait(lock);
+
+    // Quarantine: a tuple that exhausted its retry budget never reaches
+    // the evaluator again — it answers from the nearest known config, or
+    // reports its recorded failure. The daemon outlives any poisonous
+    // tuple.
+    if (const auto it = failures_.find(key);
+        it != failures_.end() && it->second.count >= config_.max_eval_failures) {
+      return degrade_or(TuningStatus::kError, pending,
+                        "tuple quarantined after " + std::to_string(it->second.count) +
+                            " failed evaluations: " + it->second.last_error);
+    }
+
+    if (Clock::now() >= deadline) {
+      ++stats_.deadline_exceeded;
+      return degrade_or(TuningStatus::kDeadlineExceeded, pending,
+                        "deadline of " + std::to_string(query.deadline_ms) +
+                            "ms elapsed before evaluation");
+    }
+
+    if (config_.read_only) {
+      return degrade_or(TuningStatus::kError, pending,
+                        "tuple not in store and service is read-only");
+    }
+
+    const bool key_inflight = inflight_.count(key) != 0;
+    // Our entry was consumed but the tuple is not in the store: the
+    // evaluation failed. Re-admit (the quarantine check above bounds how
+    // often) — this is where a tuple's retry budget is spent.
+    if (we_admitted && !key_inflight) we_admitted = false;
+    if (!key_inflight && !we_admitted) {
+      if (pending_total_ >= config_.max_pending) {
+        // Saturation: availability over exactness — answer with the
+        // nearest known config rather than turning load into failure.
+        // kRejected only when the store has nothing useful.
+        return degrade_or(TuningStatus::kRejected, pending,
+                          "admission queue full (" +
+                              std::to_string(config_.max_pending) +
+                              " tuples pending)");
+      }
+      auto& queue = queues_[client];
+      if (queue.empty()) rotation_.push_back(client);
+      inflight_.insert(key);
+      queue.push_back(pending);  // keep `pending` — degraded paths still need it
+      ++pending_total_;
+      we_admitted = true;
       continue;
     }
-    if (pending_total_ >= config_.max_pending) {
-      ++stats_.rejected;
-      answer.status = TuningStatus::kRejected;
-      answer.error = "admission queue full (" + std::to_string(config_.max_pending) +
-                     " tuples pending)";
-      return answer;
-    }
-    auto& queue = queues_[client];
-    if (queue.empty()) rotation_.push_back(client);
-    inflight_.insert(key);
-    queue.push_back(std::move(pending));
-    ++pending_total_;
-    break;
-  }
+    if (key_inflight && !we_admitted) waited = true;
 
-  // --- our tuple is admitted: evaluate (work-conserving) or wait ---
-  for (;;) {
-    {
-      const ResultStore::Snapshot snap = store_.snapshot();
-      if (const RunRecord* hit = snap.find_key(key)) {
-        answer.record = *hit;
-        answer.status = TuningStatus::kOk;
-        answer.memoized = false;
-        return answer;
-      }
-    }
-    if (!evaluator_running_) {
-      // Whoever gets here first drains the whole admission queue in fair
-      // order — including tuples admitted by clients that are merely
-      // waiting. One evaluator at a time keeps the engine cache lock-free.
+    if (!evaluator_running_ && pending_total_ > 0) {
+      // Work-conserving: whichever thread finds queued work and no
+      // evaluator becomes the evaluator, draining the whole queue in fair
+      // order. One evaluator at a time keeps the engine cache lock-free.
       evaluator_running_ = true;
-      try {
-        run_evaluator(lock);
-      } catch (...) {
-        evaluator_running_ = false;
-        progress_.notify_all();
-        throw;
-      }
+      run_evaluator(lock, deadline);  // absorbs evaluation failures
       evaluator_running_ = false;
       progress_.notify_all();
       continue;
     }
-    progress_.wait(lock);
+    if (deadline == Clock::time_point::max()) {
+      progress_.wait(lock);
+    } else {
+      progress_.wait_until(lock, deadline);
+    }
   }
 }
 
-void TuningService::run_evaluator(std::unique_lock<std::mutex>& lock) {
+void TuningService::run_evaluator(std::unique_lock<std::mutex>& lock,
+                                  Clock::time_point deadline) {
   while (pending_total_ > 0) {
+    // Stop before starting an evaluation we have no time for; the queue
+    // survives for the next thread that picks up the evaluator role.
+    if (Clock::now() >= deadline) return;
     Pending next = take_next_fair();
     lock.unlock();
     RunRecord record;
+    bool ok = false;
+    std::string failure;
     try {
       record = evaluate(next);
+      ok = true;
+    } catch (const std::exception& e) {
+      failure = e.what();
     } catch (...) {
-      // Release the key so a later query can retry the tuple; the failure
-      // propagates to the query thread that ran the evaluator.
-      lock.lock();
-      inflight_.erase(next.key);
-      --pending_total_;
-      progress_.notify_all();
-      throw;
+      failure = "evaluation failed with a non-standard exception";
     }
     lock.lock();
-    // A concurrent campaign on the same store may have produced the tuple
-    // while we evaluated; first writer wins, the store stays consistent.
-    store_.append_if_absent(record);
-    ++stats_.evaluated;
+    if (ok) {
+      // A concurrent campaign on the same store may have produced the
+      // tuple while we evaluated; first writer wins, the store stays
+      // consistent.
+      store_.append_if_absent(record);
+      ++stats_.evaluated;
+      failures_.erase(next.key);
+    } else {
+      // Crash isolation: the failure is bookkeeping, never a throw — the
+      // daemon must outlive any tuple that takes the evaluator down. The
+      // querying thread re-admits on its next loop pass, giving the tuple
+      // its bounded retry budget.
+      auto& state = failures_[next.key];
+      ++state.count;
+      state.last_error = failure;
+      ++stats_.eval_failures;
+      if (state.count == config_.max_eval_failures) ++stats_.quarantined;
+    }
     inflight_.erase(next.key);
     --pending_total_;
     progress_.notify_all();

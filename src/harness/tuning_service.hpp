@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -8,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -26,32 +28,54 @@ struct TuningQuery {
   std::string device;  ///< preset name for sim::device_by_name
   std::string spec_text;
   std::uint64_t items_per_thread = 0;
+  /// Per-query answer deadline in milliseconds, 0 = none. A cold query
+  /// whose evaluation cannot finish in time degrades to the nearest known
+  /// config (kDegraded) instead of blocking past the deadline; with an
+  /// empty store it returns kDeadlineExceeded. Memoized answers are
+  /// always in time.
+  std::uint32_t deadline_ms = 0;
 };
 
 enum class TuningStatus : std::uint8_t {
   kOk = 0,    ///< record available (memoized or freshly evaluated)
-  kRejected,  ///< admission queue full — backpressure, retry later
-  kError,     ///< malformed query (unknown benchmark/device, bad spec text)
+  kRejected,  ///< admission queue full and nothing to degrade to — retry later
+  kError,     ///< malformed query, or evaluation quarantined with no fallback
+  kDeadlineExceeded,  ///< deadline elapsed and nothing to degrade to
+  kDegraded,  ///< `record` is the nearest KNOWN config, not the asked tuple
 };
 
 /// What a query returns. `memoized` is true when the answer came straight
 /// from a store snapshot — no evaluation ran and the scheduler was never
-/// touched on behalf of this query.
+/// touched on behalf of this query. A kDegraded answer also carries a
+/// record, but for a *different* tuple (compare its identity fields to
+/// the query to see how far it is); `error` then explains why the exact
+/// answer was unavailable.
 struct TuningAnswer {
   TuningStatus status = TuningStatus::kError;
   bool memoized = false;
-  RunRecord record;   ///< valid when status == kOk
+  RunRecord record;   ///< valid when status is kOk or kDegraded
   std::string error;  ///< set when status != kOk
 };
 
 struct TuningServiceConfig {
   /// Bounded admission queue: total tuples enqueued-but-unfinished across
-  /// all clients. A query whose tuple would exceed this is rejected
-  /// (kRejected) instead of queued — backpressure the caller can see.
+  /// all clients. A query whose tuple would exceed this is answered with
+  /// the nearest known config (kDegraded) — or kRejected when the store
+  /// knows nothing useful — instead of queued.
   std::size_t max_pending = 64;
   /// Worker bound for Explorer::measure_configs on cold evaluations
   /// (0 = hardware concurrency).
   std::size_t num_threads = 0;
+  /// Evaluation retry budget per tuple: a tuple whose evaluation throws
+  /// is retried on later demand up to this many total attempts, then
+  /// quarantined — further queries answer degraded (or kError carrying
+  /// the recorded failure) without touching the evaluator again.
+  std::size_t max_eval_failures = 3;
+  /// Serve-only mode: cold tuples are never admitted or evaluated —
+  /// they answer kDegraded from the nearest known config, or kError when
+  /// the store has nothing for the benchmark. Pairs with a read-only
+  /// ResultStore serving a finalized CSV.
+  bool read_only = false;
   /// Test seam: when set, cold tuples are answered by this function
   /// instead of constructing a Benchmark/Explorer — admission, fairness
   /// and memoization behave identically, but evaluation is deterministic
@@ -68,8 +92,9 @@ struct TuningServiceConfig {
 /// Concurrency contract:
 ///  * Memoized queries read one store snapshot and touch a short stats
 ///    lock — they never wait on an evaluation in progress.
-///  * Cold queries enqueue their tuple and block until it is in the store.
-///    Identical concurrent queries coalesce onto one evaluation.
+///  * Cold queries enqueue their tuple and block until it is in the store
+///    or their deadline passes. Identical concurrent queries coalesce
+///    onto one evaluation.
 ///  * Evaluation is work-conserving and client-fair: whichever query
 ///    thread finds no evaluator running becomes it, and drains the
 ///    admission queue one tuple per client in rotation, so a client that
@@ -77,6 +102,16 @@ struct TuningServiceConfig {
 ///  * Baselines are cached per (benchmark, device): the first cold tuple
 ///    of a pair pays for the accurate run, subsequent tuples reuse it —
 ///    the Campaign's shard economics, applied incrementally.
+///
+/// Failure contract (the daemon stays up no matter what a tuple does):
+///  * A throwing evaluation never propagates: the failure is recorded
+///    against the tuple, the evaluator keeps draining other clients'
+///    tuples, and the querying thread re-admits for a bounded number of
+///    retries before the tuple is quarantined.
+///  * Saturation, missed deadlines and quarantined tuples degrade to the
+///    nearest known config in the current snapshot instead of stalling —
+///    trading exactness for availability, like the approximations the
+///    service is tuning.
 class TuningService {
  public:
   struct Stats {
@@ -84,7 +119,11 @@ class TuningService {
     std::uint64_t memoized = 0;   ///< served from a snapshot, no evaluation
     std::uint64_t evaluated = 0;  ///< tuples actually evaluated
     std::uint64_t coalesced = 0;  ///< queries that waited on another's evaluation
-    std::uint64_t rejected = 0;   ///< queries refused by the admission bound
+    std::uint64_t rejected = 0;   ///< refused outright (nothing to degrade to)
+    std::uint64_t degraded = 0;   ///< answered with a nearest-known config
+    std::uint64_t deadline_exceeded = 0;  ///< queries whose deadline fired
+    std::uint64_t eval_failures = 0;      ///< evaluations that threw
+    std::uint64_t quarantined = 0;  ///< tuples that exhausted their retry budget
   };
 
   /// The store is caller-owned and may be concurrently written by a
@@ -98,7 +137,8 @@ class TuningService {
 
   /// Answer one tuple on behalf of `client` (the fairness identity —
   /// e.g. one socket connection). Blocking: cold tuples return once
-  /// evaluated, memoized tuples return immediately.
+  /// evaluated, memoized tuples immediately, deadline-bearing queries no
+  /// later than (roughly) their deadline.
   TuningAnswer query(const TuningQuery& query, const std::string& client = "default");
 
   Stats stats() const;
@@ -111,20 +151,44 @@ class TuningService {
     pragma::ApproxSpec spec;
   };
 
+  /// Failure history of one tuple; the tuple is quarantined once
+  /// `count >= config_.max_eval_failures`.
+  struct FailureState {
+    std::size_t count = 0;
+    std::string last_error;
+  };
+
   /// Lazily constructed per (benchmark, device) so the accurate baseline
   /// is computed once per pair; only the single evaluator thread touches
   /// these, so they need no lock of their own.
   struct Engine;
 
+  using Clock = std::chrono::steady_clock;
+
   /// Drain the admission queue; called with `lock` held, returns with it
-  /// held, releases it around each evaluation.
-  void run_evaluator(std::unique_lock<std::mutex>& lock);
+  /// held, releases it around each evaluation. Stops early (leaving work
+  /// queued for the next evaluator) once `deadline` passes. A throwing
+  /// evaluation is absorbed into failures_, never thrown.
+  void run_evaluator(std::unique_lock<std::mutex>& lock, Clock::time_point deadline);
 
   /// Pick the next tuple fairly (round-robin over clients with queued
   /// work). Requires the lock; pops the tuple from its client queue.
   Pending take_next_fair();
 
   RunRecord evaluate(const Pending& pending);
+
+  /// Nearest known config for `pending` in `snap` (same benchmark
+  /// required; prefers feasible, same device, same technique, closest
+  /// items-per-thread — deterministically). Returns false when the store
+  /// knows nothing about the benchmark.
+  static bool nearest_known(const ResultStore::Snapshot& snap, const Pending& pending,
+                            RunRecord& out);
+
+  /// Build the answer for a query that cannot get its exact tuple:
+  /// kDegraded with the nearest known config when one exists, else
+  /// `fallback` with `reason`. Requires the lock (bumps stats).
+  TuningAnswer degrade_or(TuningStatus fallback, const Pending& pending,
+                          const std::string& reason);
 
   ResultStore& store_;
   TuningServiceConfig config_;
@@ -139,6 +203,7 @@ class TuningService {
   std::unordered_set<std::string> inflight_;  ///< admitted or evaluating keys
   std::size_t pending_total_ = 0;
   bool evaluator_running_ = false;
+  std::unordered_map<std::string, FailureState> failures_;  ///< key -> history
   Stats stats_;
 
   std::map<std::string, std::unique_ptr<Engine>> engines_;

@@ -2,24 +2,59 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
 #include "common/error.hpp"
 #include "service/socket_io.hpp"
 
 namespace hpac::service {
 
-TuningClient::TuningClient(const std::string& socket_path)
-    : fd_(connect_unix(socket_path)) {}
+TuningClient::TuningClient(std::string socket_path, Options options)
+    : socket_path_(std::move(socket_path)),
+      options_(options),
+      jitter_(std::random_device{}()) {
+  ensure_connected();  // fail fast when nothing is listening
+}
 
-TuningClient::~TuningClient() {
-  if (fd_ >= 0) ::close(fd_);
+TuningClient::~TuningClient() { disconnect(); }
+
+void TuningClient::ensure_connected() {
+  if (fd_ >= 0) return;
+  fd_ = connect_unix(socket_path_, options_.connect_timeout_ms);
+}
+
+void TuningClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TuningClient::backoff(int attempt) {
+  // Full jitter: uniform in (0, min(initial << attempt, max)]. The upper
+  // bound doubles per retry; the draw spreads a herd of clients that all
+  // saw the same daemon restart across the window instead of having them
+  // reconnect in lockstep.
+  const int shift = std::min(attempt, 20);  // keep the << well-defined
+  const long ceiling = std::min(static_cast<long>(options_.backoff_max_ms),
+                                static_cast<long>(options_.backoff_initial_ms) << shift);
+  if (ceiling <= 0) return;
+  std::uniform_int_distribution<long> draw(1, ceiling);
+  std::this_thread::sleep_for(std::chrono::milliseconds(draw(jitter_)));
 }
 
 Frame TuningClient::round_trip(MessageType request, std::string_view body,
                                MessageType expected_reply) {
   write_frame(fd_, request, body);
   Frame reply;
-  if (!read_frame(fd_, reply)) {
-    throw Error("daemon closed the connection before replying");
+  const ReadTimeouts timeouts{options_.request_timeout_ms, options_.frame_timeout_ms};
+  if (!read_frame(fd_, reply, timeouts)) {
+    // EOF where a reply belonged: daemon stopped or crashed. Transport,
+    // not protocol — a retry against a restarted daemon can succeed.
+    throw TransportError("daemon closed the connection before replying");
   }
   if (reply.type != expected_reply) {
     throw ProtocolError("unexpected reply type " +
@@ -29,19 +64,55 @@ Frame TuningClient::round_trip(MessageType request, std::string_view body,
 }
 
 harness::TuningAnswer TuningClient::query(const harness::TuningQuery& query) {
-  const Frame reply =
-      round_trip(MessageType::kQueryRequest, encode_query(query), MessageType::kQueryReply);
-  return decode_answer(reply.body);
+  const std::string body = encode_query(query);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ensure_connected();
+      const Frame reply =
+          round_trip(MessageType::kQueryRequest, body, MessageType::kQueryReply);
+      harness::TuningAnswer answer = decode_answer(reply.body);
+      if (answer.status == harness::TuningStatus::kRejected &&
+          attempt < options_.max_retries) {
+        // Backpressure is an invitation to retry later, so honor it —
+        // but on the same connection; nothing is wrong with the socket.
+        backoff(attempt);
+        continue;
+      }
+      return answer;
+    } catch (const ProtocolError&) {
+      throw;  // repeating the same bytes cannot fix a protocol mismatch
+    } catch (const TransportError&) {
+      // Covers TimeoutError too: connection refused/reset, daemon gone
+      // mid-request, wedged daemon past the request timeout. Tear the
+      // connection down — its stream state is unknowable — and retry
+      // fresh. The store dedupes, so a resend after a lost reply is safe.
+      disconnect();
+      if (attempt >= options_.max_retries) throw;
+      backoff(attempt);
+    }
+  }
 }
 
 harness::TuningService::Stats TuningClient::stats() {
-  const Frame reply =
-      round_trip(MessageType::kStatsRequest, "", MessageType::kStatsReply);
-  return decode_stats(reply.body);
+  ensure_connected();
+  try {
+    const Frame reply =
+        round_trip(MessageType::kStatsRequest, "", MessageType::kStatsReply);
+    return decode_stats(reply.body);
+  } catch (const TransportError&) {
+    disconnect();  // a half-read stream must not poison the next call
+    throw;
+  }
 }
 
 void TuningClient::shutdown_server() {
-  round_trip(MessageType::kShutdownRequest, "", MessageType::kShutdownReply);
+  ensure_connected();
+  try {
+    round_trip(MessageType::kShutdownRequest, "", MessageType::kShutdownReply);
+  } catch (const TransportError&) {
+    disconnect();
+    throw;
+  }
 }
 
 }  // namespace hpac::service

@@ -1,41 +1,89 @@
 #pragma once
 
+#include <random>
 #include <string>
+#include <utility>
 
 #include "harness/tuning_service.hpp"
 #include "service/protocol.hpp"
 
 namespace hpac::service {
 
-/// Thin blocking client for the hpacd socket protocol — one connection,
-/// one outstanding request at a time (the transport the smoke tests and
-/// simple integrations need; anything fancier can speak the frames
-/// directly).
+/// Blocking client for the hpacd socket protocol — one connection, one
+/// outstanding request at a time — with the retry discipline a fault-prone
+/// daemon demands: connect and request timeouts, transparent reconnect,
+/// and exponential backoff with jitter on transient failures.
+///
+/// What retries and what does not:
+///  * Transport failures (connection refused/reset, daemon restarted
+///    mid-request, request timeout) are transient — query() reconnects
+///    and resends, up to the retry budget. Queries are idempotent (the
+///    store dedupes), so a resend after a lost reply is safe.
+///  * kRejected answers (admission queue full) back off and retry too —
+///    the daemon asked for exactly that.
+///  * Protocol errors (the daemon spoke, but spoke garbage, or a version
+///    mismatch) are NOT retried: repeating the bytes cannot help.
 class TuningClient {
  public:
-  /// Connects immediately; throws hpac::Error when the daemon is not
-  /// listening at `socket_path`.
-  explicit TuningClient(const std::string& socket_path);
+  struct Options {
+    /// Bound on each connect(2), initial and reconnect alike; -1 = forever.
+    int connect_timeout_ms = 5000;
+    /// Max quiet time waiting for the first byte of a reply; -1 = forever.
+    /// This is the guard against a wedged (e.g. SIGSTOPped) daemon: the
+    /// request fails with TimeoutError and the retry discipline takes over.
+    int request_timeout_ms = -1;
+    /// Once a reply starts arriving, the whole frame must follow within
+    /// this bound; -1 disables.
+    int frame_timeout_ms = 10000;
+    /// Transient-failure retry budget for query(): total attempts are
+    /// `1 + max_retries`. 0 = fail on the first transport error.
+    int max_retries = 5;
+    /// Backoff before retry k is uniform in (0, min(initial << k, max)) —
+    /// full jitter, so a herd of retrying clients spreads out instead of
+    /// stampeding a daemon that just came back.
+    int backoff_initial_ms = 20;
+    int backoff_max_ms = 1000;
+  };
+
+  /// Connects immediately; throws TransportError when the daemon is not
+  /// listening at `socket_path`, TimeoutError when the connect does not
+  /// complete within the connect timeout.
+  explicit TuningClient(std::string socket_path) : TuningClient(std::move(socket_path), Options{}) {}
+  TuningClient(std::string socket_path, Options options);
   ~TuningClient();
 
   TuningClient(const TuningClient&) = delete;
   TuningClient& operator=(const TuningClient&) = delete;
 
-  /// Round-trip one tuning query. Blocks while the daemon evaluates a
-  /// cold tuple; memoized tuples return immediately.
+  /// Round-trip one tuning query, retrying transient failures per the
+  /// Options. Blocks while the daemon evaluates a cold tuple; memoized
+  /// tuples return immediately. Throws TransportError/TimeoutError only
+  /// after the retry budget is spent, ProtocolError immediately.
   harness::TuningAnswer query(const harness::TuningQuery& query);
 
   /// The daemon's service counters (queries/memoized/evaluated/...).
+  /// Single attempt — reconnects if the connection was lost, but does not
+  /// retry on failure.
   harness::TuningService::Stats stats();
 
   /// Ask the daemon to shut down; returns once the daemon acknowledged.
   void shutdown_server();
 
  private:
+  /// (Re)establish the connection if it was never made or was torn down
+  /// after a transport error.
+  void ensure_connected();
+  void disconnect();
+  /// Sleep the jittered backoff for retry number `attempt` (0-based).
+  void backoff(int attempt);
+
   Frame round_trip(MessageType request, std::string_view body,
                    MessageType expected_reply);
 
+  std::string socket_path_;
+  Options options_;
   int fd_ = -1;
+  std::minstd_rand jitter_;
 };
 
 }  // namespace hpac::service

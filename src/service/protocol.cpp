@@ -136,6 +136,7 @@ std::string encode_query(const harness::TuningQuery& query) {
   put_string(body, query.device);
   put_string(body, query.spec_text);
   put_u64(body, query.items_per_thread);
+  put_u32(body, query.deadline_ms);
   return body;
 }
 
@@ -146,6 +147,7 @@ harness::TuningQuery decode_query(std::string_view body) {
   query.device = get_string(body, offset);
   query.spec_text = get_string(body, offset);
   query.items_per_thread = get_u64(body, offset);
+  query.deadline_ms = get_u32(body, offset);
   return query;
 }
 
@@ -215,7 +217,10 @@ std::string encode_answer(const harness::TuningAnswer& answer) {
   put_u8(body, static_cast<std::uint8_t>(answer.status));
   put_u8(body, answer.memoized ? 1 : 0);
   put_string(body, answer.error);
-  const bool has_record = answer.status == harness::TuningStatus::kOk;
+  // A degraded answer carries the nearest-known record (whose identity
+  // fields differ from the query — that is the point).
+  const bool has_record = answer.status == harness::TuningStatus::kOk ||
+                          answer.status == harness::TuningStatus::kDegraded;
   put_u8(body, has_record ? 1 : 0);
   if (has_record) put_record(body, answer.record);
   return body;
@@ -225,7 +230,7 @@ harness::TuningAnswer decode_answer(std::string_view body) {
   std::size_t offset = 0;
   harness::TuningAnswer answer;
   const std::uint8_t raw_status = get_u8(body, offset);
-  if (raw_status > static_cast<std::uint8_t>(harness::TuningStatus::kError)) {
+  if (raw_status > static_cast<std::uint8_t>(harness::TuningStatus::kDegraded)) {
     throw ProtocolError("unknown answer status " + std::to_string(raw_status));
   }
   answer.status = static_cast<harness::TuningStatus>(raw_status);
@@ -242,6 +247,10 @@ std::string encode_stats(const harness::TuningService::Stats& stats) {
   put_u64(body, stats.evaluated);
   put_u64(body, stats.coalesced);
   put_u64(body, stats.rejected);
+  put_u64(body, stats.degraded);
+  put_u64(body, stats.deadline_exceeded);
+  put_u64(body, stats.eval_failures);
+  put_u64(body, stats.quarantined);
   return body;
 }
 
@@ -253,6 +262,10 @@ harness::TuningService::Stats decode_stats(std::string_view body) {
   stats.evaluated = get_u64(body, offset);
   stats.coalesced = get_u64(body, offset);
   stats.rejected = get_u64(body, offset);
+  stats.degraded = get_u64(body, offset);
+  stats.deadline_exceeded = get_u64(body, offset);
+  stats.eval_failures = get_u64(body, offset);
+  stats.quarantined = get_u64(body, offset);
   return stats;
 }
 

@@ -30,7 +30,11 @@ class ProtocolError : public Error {
   explicit ProtocolError(const std::string& what) : Error("protocol error: " + what) {}
 };
 
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2: queries carry a per-request deadline, answers can report
+/// kDeadlineExceeded and kDegraded (nearest-known-config fallback), and
+/// stats carry the failure-handling counters. A v1 peer is rejected with
+/// a clean version error, never misparsed.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 
 /// Refuse absurd frames before allocating for them: a query or answer is
 /// a few strings and scalars, far below this.

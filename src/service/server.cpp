@@ -32,7 +32,17 @@ void TuningServer::wait() {
   stop_requested_cv_.wait(lock, [this] { return stop_requested_; });
 }
 
-void TuningServer::stop() {
+void TuningServer::stop() { shutdown_connections(SHUT_RDWR); }
+
+void TuningServer::drain() {
+  // SHUT_RD: blocked readers see EOF and exit at the next frame boundary,
+  // but the write side stays open, so a thread mid-query still delivers
+  // its reply before its loop observes the EOF. Requests already received
+  // are the daemon's obligation; requests not yet sent are not.
+  shutdown_connections(SHUT_RD);
+}
+
+void TuningServer::shutdown_connections(int how) {
   std::vector<std::thread> to_join;
   std::thread accept_to_join;
   {
@@ -42,13 +52,13 @@ void TuningServer::stop() {
     if (!running_) return;
     running_ = false;
     // Closing the listen socket fails the blocking accept(2); shutting
-    // down connection sockets fails their blocking reads. The threads
-    // then drain on their own and we can join without a poll loop.
+    // down connection sockets fails (or EOFs) their blocking reads. The
+    // threads then drain on their own and we can join without a poll loop.
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
     for (int& fd : connection_fds_) {
-      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+      if (fd >= 0) ::shutdown(fd, how);
     }
     to_join.swap(connection_threads_);
     accept_to_join = std::move(accept_thread_);
@@ -91,9 +101,12 @@ void TuningServer::serve_connection(int fd, std::uint64_t connection_id) {
   // One fairness identity per connection: admission rotates across
   // connections, not across individual frames.
   const std::string client = "conn-" + std::to_string(connection_id);
+  // Idle stays unlimited (a quiet client between requests is fine); the
+  // frame bound drops a peer that starts a frame and then trickles it.
+  const ReadTimeouts timeouts{/*idle_ms=*/-1, options_.frame_timeout_ms};
   try {
     Frame frame;
-    while (read_frame(fd, frame)) {
+    while (read_frame(fd, frame, timeouts)) {
       switch (frame.type) {
         case MessageType::kQueryRequest: {
           harness::TuningAnswer answer;
@@ -126,9 +139,10 @@ void TuningServer::serve_connection(int fd, std::uint64_t connection_id) {
       }
     }
   } catch (const Error&) {
-    // Malformed frame or vanished peer: drop the connection. The store and
-    // service state stay consistent — at worst the client never sees the
-    // answer to a query whose record is already journaled.
+    // Malformed frame, frame timeout, or vanished peer: drop the
+    // connection — never the daemon. The store and service state stay
+    // consistent — at worst the client never sees the answer to a query
+    // whose record is already journaled (a retry finds it memoized).
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ::close(fd);

@@ -15,12 +15,23 @@ namespace hpac::service {
 /// protocol, one thread per connection. Each connection is one fairness
 /// client of the underlying TuningService, so a flood of queries on one
 /// connection cannot starve another connection's single question.
+///
+/// The server survives any client behavior: a peer that disconnects
+/// mid-reply produces EPIPE (never SIGPIPE), a peer that sends garbage is
+/// dropped with a ProtocolError, and a peer that starts a frame but
+/// trickles it (slow loris) is cut off by the frame timeout — each costs
+/// one connection thread, never the daemon.
 class TuningServer {
  public:
   struct Options {
     std::string socket_path;
     int backlog = 16;
     harness::TuningServiceConfig service;
+    /// Slow-loris guard: once a frame's first byte arrives the whole
+    /// frame must follow within this bound or the connection is dropped.
+    /// -1 disables. Idle time *between* frames is always unlimited — a
+    /// quiet client holding a connection is legitimate.
+    int frame_timeout_ms = 10000;
   };
 
   /// The store is caller-owned: the daemon may resume an existing campaign
@@ -35,13 +46,20 @@ class TuningServer {
   /// socket path is unusable.
   void start();
 
-  /// Block until a client sends a shutdown request (or `stop` is called
-  /// from another thread).
+  /// Block until a client sends a shutdown request (or `stop`/`drain` is
+  /// called from another thread).
   void wait();
 
   /// Graceful shutdown: stop accepting, unblock and join every connection
   /// thread, remove the socket file. Idempotent.
   void stop();
+
+  /// Graceful *drain* (the SIGTERM path): refuse new connections and stop
+  /// reading new requests, but let every request already received finish
+  /// and have its reply delivered before the connection closes. The store
+  /// needs no separate flush — every append is flushed when journaled.
+  /// Idempotent, and interchangeable with stop() once either has run.
+  void drain();
 
   const harness::TuningService& service() const { return service_; }
   const std::string& socket_path() const { return options_.socket_path; }
@@ -49,6 +67,10 @@ class TuningServer {
  private:
   void accept_loop(int listen_fd);
   void serve_connection(int fd, std::uint64_t connection_id);
+  /// Shared body of stop() and drain(): `how` is the shutdown(2) mode for
+  /// live connections — SHUT_RDWR aborts their replies, SHUT_RD lets
+  /// in-flight replies finish while further reads see EOF.
+  void shutdown_connections(int how);
 
   Options options_;
   harness::TuningService service_;

@@ -1,10 +1,13 @@
 #include "service/socket_io.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -12,6 +15,8 @@
 namespace hpac::service {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 sockaddr_un address_for(const std::string& path) {
   sockaddr_un addr{};
@@ -24,29 +29,59 @@ sockaddr_un address_for(const std::string& path) {
 
 void write_all(int fd, const char* data, std::size_t size) {
   while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
+    // MSG_NOSIGNAL: a peer that disconnected mid-reply must produce EPIPE
+    // on this thread, never a process-killing SIGPIPE — the daemon
+    // survives any client vanishing at any point.
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw Error(std::string("socket write failed: ") + std::strerror(errno));
+      throw TransportError(std::string("socket write failed: ") + std::strerror(errno));
     }
     data += n;
     size -= static_cast<std::size_t>(n);
   }
 }
 
-/// Fill `size` bytes. Returns false on EOF before the first byte; throws
-/// when EOF lands mid-buffer (the caller was promised a complete frame).
-bool read_all(int fd, char* data, std::size_t size) {
+/// Milliseconds until `deadline`, clamped at 0; -1 when no deadline.
+int remaining_ms(const Clock::time_point* deadline) {
+  if (deadline == nullptr) return -1;
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(*deadline - Clock::now())
+          .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// Block until `fd` is readable or the deadline passes.
+void wait_readable(int fd, const Clock::time_point* deadline, const char* phase) {
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (rc > 0) return;  // readable, error or hangup — read(2) will tell
+    if (rc == 0) {
+      throw TimeoutError(std::string("peer produced no data while ") + phase);
+    }
+    if (errno != EINTR) {
+      throw TransportError(std::string("poll failed: ") + std::strerror(errno));
+    }
+  }
+}
+
+/// Fill `size` bytes, polling against `deadline` (nullptr = block forever).
+/// Returns false on EOF before the first byte; throws when EOF lands
+/// mid-buffer (the caller was promised a complete frame).
+bool read_all(int fd, char* data, std::size_t size, const Clock::time_point* deadline,
+              const char* phase) {
   std::size_t got = 0;
   while (got < size) {
+    if (deadline != nullptr) wait_readable(fd, deadline, phase);
     const ssize_t n = ::read(fd, data + got, size - got);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw Error(std::string("socket read failed: ") + std::strerror(errno));
+      throw TransportError(std::string("socket read failed: ") + std::strerror(errno));
     }
     if (n == 0) {
       if (got == 0) return false;
-      throw ProtocolError("connection closed mid-frame");
+      throw TransportError("connection closed mid-frame");
     }
     got += static_cast<std::size_t>(n);
   }
@@ -55,15 +90,38 @@ bool read_all(int fd, char* data, std::size_t size) {
 
 }  // namespace
 
-int connect_unix(const std::string& path) {
+int connect_unix(const std::string& path, int timeout_ms) {
   const sockaddr_un addr = address_for(path);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   HPAC_REQUIRE(fd >= 0, std::string("cannot create socket: ") + std::strerror(errno));
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+  // Non-blocking connect + poll: a daemon with a saturated backlog must
+  // surface as a timeout the caller can retry, not an indefinite hang.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      ::close(fd);
+      throw TimeoutError("connect to " + path + " did not complete");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (ready < 0 || ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      ::close(fd);
+      throw TransportError("cannot connect to " + path + ": " +
+                           std::strerror(err != 0 ? err : errno));
+    }
+    rc = 0;
+  }
+  if (rc != 0) {
     const int saved = errno;
     ::close(fd);
-    throw Error("cannot connect to " + path + ": " + std::strerror(saved));
+    throw TransportError("cannot connect to " + path + ": " + std::strerror(saved));
   }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking for frame IO
   return fd;
 }
 
@@ -86,9 +144,29 @@ void write_frame(int fd, MessageType type, std::string_view body) {
   write_all(fd, frame.data(), frame.size());
 }
 
-bool read_frame(int fd, Frame& frame) {
+bool read_frame(int fd, Frame& frame, ReadTimeouts timeouts) {
+  // The wait for a frame's first byte runs against the idle deadline (a
+  // quiet connection between requests); everything after the first byte
+  // runs against the frame deadline (a started frame must finish — the
+  // slow-loris guard).
+  Clock::time_point idle_deadline;
+  const Clock::time_point* idle = nullptr;
+  if (timeouts.idle_ms >= 0) {
+    idle_deadline = Clock::now() + std::chrono::milliseconds(timeouts.idle_ms);
+    idle = &idle_deadline;
+  }
   char prefix[4];
-  if (!read_all(fd, prefix, sizeof(prefix))) return false;
+  wait_readable(fd, idle, "waiting for a reply");
+  // First byte (or EOF) has arrived: the frame clock starts now.
+  Clock::time_point frame_deadline;
+  const Clock::time_point* rest = nullptr;
+  if (timeouts.frame_ms >= 0) {
+    frame_deadline = Clock::now() + std::chrono::milliseconds(timeouts.frame_ms);
+    rest = &frame_deadline;
+  }
+  if (!read_all(fd, prefix, sizeof(prefix), rest, "completing a frame header")) {
+    return false;
+  }
   std::size_t offset = 0;
   const std::uint32_t length =
       get_u32(std::string_view(prefix, sizeof(prefix)), offset);
@@ -97,8 +175,8 @@ bool read_frame(int fd, Frame& frame) {
                         " bytes exceeds bound");
   }
   std::string payload(length, '\0');
-  if (!read_all(fd, payload.data(), payload.size())) {
-    throw ProtocolError("connection closed mid-frame");
+  if (!read_all(fd, payload.data(), payload.size(), rest, "completing a frame body")) {
+    throw TransportError("connection closed mid-frame");
   }
   frame = decode_frame(payload);
   return true;

@@ -8,23 +8,55 @@
 namespace hpac::service {
 
 /// Blocking POSIX helpers shared by the server and the client — the whole
-/// transport is these three calls plus close(2).
+/// transport is these calls plus close(2). Writes use MSG_NOSIGNAL, so a
+/// peer that vanished mid-reply surfaces as a TransportError on this
+/// thread instead of a process-wide SIGPIPE.
 
-/// Connect a Unix-domain stream socket to `path`. Throws hpac::Error when
-/// the path is too long for sockaddr_un or the connect fails.
-int connect_unix(const std::string& path);
+/// The connection itself failed: refused/reset/closed mid-frame, or a
+/// read/write syscall error. Distinct from ProtocolError (the peer spoke,
+/// but spoke garbage): transport failures are transient — a client may
+/// reconnect and retry — while protocol failures are not.
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error("transport error: " + what) {}
+};
+
+/// A read deadline elapsed before the peer produced the expected bytes.
+class TimeoutError : public TransportError {
+ public:
+  explicit TimeoutError(const std::string& what) : TransportError("timeout: " + what) {}
+};
+
+/// Read deadlines for `read_frame`, both in milliseconds, -1 = infinite.
+///  * `idle_ms` bounds the wait for the FIRST byte of a frame — a client
+///    uses it as its request timeout, a server usually leaves it infinite
+///    (an idle connection between requests is legitimate).
+///  * `frame_ms` bounds the time from a frame's first byte to its last —
+///    the slow-loris guard: a peer that starts a frame must finish it.
+struct ReadTimeouts {
+  int idle_ms = -1;
+  int frame_ms = -1;
+};
+
+/// Connect a Unix-domain stream socket to `path`, waiting at most
+/// `timeout_ms` (-1 = forever) for the connect to complete. Throws
+/// TransportError when the daemon is not listening, TimeoutError when the
+/// connect does not complete in time, hpac::Error when the path is too
+/// long for sockaddr_un.
+int connect_unix(const std::string& path, int timeout_ms = -1);
 
 /// Bind + listen a Unix-domain stream socket at `path` (unlinking a stale
 /// socket file first). Throws hpac::Error on failure.
 int listen_unix(const std::string& path, int backlog);
 
-/// Write one complete frame; loops over partial writes and EINTR. Throws
-/// hpac::Error when the peer is gone.
+/// Write one complete frame; loops over partial writes and EINTR. Sends
+/// with MSG_NOSIGNAL and throws TransportError when the peer is gone.
 void write_frame(int fd, MessageType type, std::string_view body);
 
 /// Read one complete frame. Returns false on clean EOF at a frame
-/// boundary (peer closed between messages); throws ProtocolError on a
-/// truncated frame and hpac::Error on read failure.
-bool read_frame(int fd, Frame& frame);
+/// boundary (peer closed between messages); throws TransportError on EOF
+/// mid-frame or read failure, TimeoutError on an elapsed deadline, and
+/// ProtocolError on an oversized or malformed frame.
+bool read_frame(int fd, Frame& frame, ReadTimeouts timeouts = {});
 
 }  // namespace hpac::service

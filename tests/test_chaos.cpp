@@ -1,0 +1,596 @@
+// Chaos rig for the hpacd service layer (ctest label: chaos).
+//
+// The daemon's fault-tolerance claims are only worth what survives real
+// process-level abuse, so — like test_dist_campaign.cpp — this binary
+// re-executes itself (`--chaos-daemon <socket> <store> [mode]`) to get a
+// REAL daemon subprocess it can SIGKILL mid-evaluation and restart under
+// live clients, SIGSTOP past client request timeouts, and SIGTERM to
+// drain. In-process servers cover the per-connection abuse where process
+// identity does not matter: torn frames at every offset, random-byte
+// fuzz, oversized lengths, slow-loris trickling, and disconnecting before
+// the reply (the SIGPIPE regression — without MSG_NOSIGNAL that one kills
+// the whole process, so it cannot hide).
+//
+// Env knobs (set by the ctest/TSan wiring):
+//   HPAC_CHAOS_TIME_SCALE     multiply every sleep/timeout (sanitizers)
+//   HPAC_CHAOS_EVAL_SLEEP_MS  per-evaluation sleep inside the subprocess
+
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <mutex>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "harness/campaign.hpp"
+#include "harness/record.hpp"
+#include "harness/result_store.hpp"
+#include "harness/tuning_service.hpp"
+#include "pragma/parser.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/socket_io.hpp"
+
+using namespace hpac;
+using namespace hpac::harness;
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  return (raw != nullptr && *raw != '\0') ? std::atoi(raw) : fallback;
+}
+
+/// Every duration in this file goes through here so one env knob slows
+/// the whole rig down under sanitizers.
+int ms(int base) { return base * env_int("HPAC_CHAOS_TIME_SCALE", 1); }
+
+std::string temp_path(const std::string& stem) {
+  const std::string path = testing::TempDir() + "hpac_chaos_" + stem;
+  std::remove(path.c_str());
+  return path;
+}
+
+TuningQuery chaos_query(std::uint64_t ipt, std::uint32_t deadline_ms = 0) {
+  TuningQuery query{"blackscholes", "v100", "perfo(small:2)", ipt};
+  query.deadline_ms = deadline_ms;
+  return query;
+}
+
+std::string chaos_key(std::uint64_t ipt) {
+  return Campaign::tuple_key("blackscholes", "v100",
+                             pragma::parse_approx("perfo(small:2)").to_string(), ipt);
+}
+
+/// The deterministic evaluator both the subprocess daemon and the
+/// in-process servers use: the record encodes the query (speedup =
+/// 1 + ipt), so any answer can be checked for integrity after any number
+/// of crashes and restarts. Tuples whose ipt is a multiple of 1000 throw
+/// — the evaluator-crash injection.
+TuningServiceConfig chaos_service_config() {
+  TuningServiceConfig cfg;
+  cfg.evaluate_override = [](const TuningQuery& q, const pragma::ApproxSpec&) {
+    const int sleep_ms = env_int("HPAC_CHAOS_EVAL_SLEEP_MS", 0);
+    if (sleep_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    if (q.items_per_thread % 1000 == 0) {
+      throw Error("injected evaluator crash (ipt " +
+                  std::to_string(q.items_per_thread) + ")");
+    }
+    RunRecord r;
+    r.speedup = 1.0 + static_cast<double>(q.items_per_thread);
+    r.error_percent = 0.5;
+    r.feasible = true;
+    return r;
+  };
+  return cfg;
+}
+
+// --- subprocess plumbing (the test_dist_campaign re-exec pattern) ------------
+
+pid_t spawn_self(const std::vector<std::string>& args) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  std::vector<char*> argv;
+  std::string exe = "/proc/self/exe";
+  argv.push_back(exe.data());
+  std::vector<std::string> copy = args;
+  for (auto& arg : copy) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  ::execv(exe.c_str(), argv.data());
+  ::_exit(127);
+}
+
+pid_t spawn_daemon(const std::string& socket_path, const std::string& store_path,
+                   const std::string& mode = "normal") {
+  return spawn_self({"--chaos-daemon", socket_path, store_path, mode});
+}
+
+int wait_for(pid_t pid) {
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+void expect_clean_exit(pid_t pid, const std::string& who) {
+  const int status = wait_for(pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << who << " status " << status;
+}
+
+void expect_sigkilled(pid_t pid, const std::string& who) {
+  const int status = wait_for(pid);
+  EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << who << " status " << status;
+}
+
+/// Retry-connect until the daemon listens (pattern from the hpacd smoke).
+void await_listening(const std::string& socket_path) {
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    try {
+      service::TuningClient probe(socket_path);
+      return;
+    } catch (const Error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  FAIL() << "daemon never started listening on " << socket_path;
+}
+
+service::TuningClient::Options patient_client() {
+  service::TuningClient::Options opt;
+  opt.connect_timeout_ms = ms(2000);
+  opt.request_timeout_ms = ms(4000);
+  opt.frame_timeout_ms = ms(4000);
+  opt.max_retries = 60;  // must outlast a kill->restart window
+  opt.backoff_initial_ms = 10;
+  opt.backoff_max_ms = ms(200);
+  return opt;
+}
+
+/// Connect raw (no client protocol) for byte-level abuse. Abuse rounds
+/// open connections faster than the accept loop drains the backlog, so a
+/// full backlog (EAGAIN on AF_UNIX connect) is expected — back off and
+/// retry rather than failing the rig on its own connection storm.
+int raw_connect(const std::string& socket_path) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return service::connect_unix(socket_path, ms(2000));
+    } catch (const Error&) {
+      if (attempt >= 200) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+}
+
+void send_all(int fd, const void* data, std::size_t size) {
+  ASSERT_EQ(::send(fd, data, size, MSG_NOSIGNAL), static_cast<ssize_t>(size));
+}
+
+}  // namespace
+
+// --- the headline: SIGKILL + restart under concurrent retrying clients -------
+
+TEST(Chaos, SigkillAndRestartUnderConcurrentClientsLosesNothing) {
+  const std::string socket_path = temp_path("kill.sock");
+  const std::string store_path = temp_path("kill_store.csv");
+  ::setenv("HPAC_CHAOS_EVAL_SLEEP_MS", std::to_string(ms(25)).c_str(), 1);
+
+  pid_t daemon = spawn_daemon(socket_path, store_path);
+  await_listening(socket_path);
+
+  // 5 clients, disjoint tuples, all querying while the daemon dies and
+  // comes back. Every client must end with a correct kOk answer for every
+  // tuple — via transparent reconnect + resend, never by test-side help.
+  constexpr int kClients = 5;
+  constexpr int kTuplesPerClient = 4;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures;
+  std::mutex failures_mutex;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        service::TuningClient client(socket_path, patient_client());
+        for (int t = 0; t < kTuplesPerClient; ++t) {
+          const std::uint64_t ipt = static_cast<std::uint64_t>(c * 100 + t + 1);
+          const TuningAnswer answer = client.query(chaos_query(ipt));
+          if (answer.status != TuningStatus::kOk ||
+              answer.record.items_per_thread != ipt ||
+              answer.record.speedup != 1.0 + static_cast<double>(ipt)) {
+            std::lock_guard<std::mutex> lock(failures_mutex);
+            failures.push_back("client " + std::to_string(c) + " tuple ipt " +
+                               std::to_string(ipt) + ": status " +
+                               std::to_string(static_cast<int>(answer.status)) + " " +
+                               answer.error);
+          }
+        }
+      } catch (const Error& e) {
+        std::lock_guard<std::mutex> lock(failures_mutex);
+        failures.push_back("client " + std::to_string(c) + " threw: " + e.what());
+      }
+    });
+  }
+
+  // Kill the daemon mid-fleet — twice, to also cover a restart that
+  // resumes a journal the previous incarnation was killed while writing.
+  for (int round = 0; round < 2; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms(120)));
+    ASSERT_EQ(::kill(daemon, SIGKILL), 0);
+    expect_sigkilled(daemon, "daemon round " + std::to_string(round));
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms(60)));
+    daemon = spawn_daemon(socket_path, store_path);
+  }
+
+  for (auto& thread : clients) thread.join();
+  EXPECT_TRUE(failures.empty()) << failures.front() << " (+" << failures.size() - 1
+                                << " more)";
+
+  // Graceful shutdown of the survivor, then audit the journal.
+  await_listening(socket_path);
+  service::TuningClient(socket_path, patient_client()).shutdown_server();
+  expect_clean_exit(daemon, "final daemon");
+
+  // Journal integrity: parseable WITHOUT torn-tail tolerance (the restart
+  // truncated any torn row), one row per tuple (no duplicates even though
+  // evaluations raced kills), and every answered tuple is present.
+  const ResultDb journal = ResultDb::load(store_path, /*drop_torn_tail=*/false);
+  std::set<std::string> keys;
+  for (const RunRecord& record : journal.records()) {
+    EXPECT_TRUE(keys.insert(ResultStore::key_of(record)).second)
+        << "duplicate journal row for " << record.items_per_thread;
+  }
+  ResultStore reloaded(store_path);
+  EXPECT_EQ(reloaded.load_stats().duplicates, 0u);
+  for (int c = 0; c < kClients; ++c) {
+    for (int t = 0; t < kTuplesPerClient; ++t) {
+      const std::uint64_t ipt = static_cast<std::uint64_t>(c * 100 + t + 1);
+      EXPECT_TRUE(reloaded.snapshot().contains_key(chaos_key(ipt)))
+          << "tuple ipt " << ipt << " missing from the journal";
+    }
+  }
+  ::unsetenv("HPAC_CHAOS_EVAL_SLEEP_MS");
+}
+
+// --- SIGSTOP past the client request timeout ---------------------------------
+
+TEST(Chaos, SigstoppedDaemonTimesOutClientsWhoRecoverAfterSigcont) {
+  const std::string socket_path = temp_path("stop.sock");
+  const std::string store_path = temp_path("stop_store.csv");
+  const pid_t daemon = spawn_daemon(socket_path, store_path);
+  await_listening(socket_path);
+
+  service::TuningClient::Options opt = patient_client();
+  opt.request_timeout_ms = ms(150);  // short: the wedge must surface as timeouts
+  service::TuningClient client(socket_path, opt);
+  ASSERT_EQ(client.query(chaos_query(7)).status, TuningStatus::kOk);
+
+  ASSERT_EQ(::kill(daemon, SIGSTOP), 0);
+  std::thread resume([&] {
+    // Hold the daemon wedged across several client timeouts, then revive.
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms(500)));
+    ASSERT_EQ(::kill(daemon, SIGCONT), 0);
+  });
+
+  // The query rides through: timeouts + reconnects while wedged, success
+  // after SIGCONT — the client never surfaces the wedge to its caller.
+  const TuningAnswer answer = client.query(chaos_query(8));
+  EXPECT_EQ(answer.status, TuningStatus::kOk) << answer.error;
+  EXPECT_DOUBLE_EQ(answer.record.speedup, 9.0);
+  resume.join();
+
+  service::TuningClient(socket_path, patient_client()).shutdown_server();
+  expect_clean_exit(daemon, "daemon");
+}
+
+// --- SIGTERM drains: in-flight replies are delivered -------------------------
+
+TEST(Chaos, SigtermDrainDeliversInFlightRepliesThenExits) {
+  const std::string socket_path = temp_path("drain.sock");
+  const std::string store_path = temp_path("drain_store.csv");
+  ::setenv("HPAC_CHAOS_EVAL_SLEEP_MS", std::to_string(ms(300)).c_str(), 1);
+  const pid_t daemon = spawn_daemon(socket_path, store_path);
+  await_listening(socket_path);
+
+  service::TuningClient::Options opt = patient_client();
+  opt.max_retries = 0;  // the drained reply must arrive on THIS connection
+  service::TuningClient client(socket_path, opt);
+  std::thread in_flight([&] {
+    const TuningAnswer answer = client.query(chaos_query(42));
+    EXPECT_EQ(answer.status, TuningStatus::kOk) << answer.error;
+    EXPECT_DOUBLE_EQ(answer.record.speedup, 43.0);
+  });
+
+  // The request is on the wire within milliseconds; the evaluation sleeps
+  // far longer, so SIGTERM lands mid-evaluation.
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms(100)));
+  ASSERT_EQ(::kill(daemon, SIGTERM), 0);
+  in_flight.join();  // reply delivered despite the drain
+  expect_clean_exit(daemon, "drained daemon");
+
+  // The drained evaluation reached the journal before exit.
+  ResultStore reloaded(store_path);
+  EXPECT_TRUE(reloaded.snapshot().contains_key(chaos_key(42)));
+  ::unsetenv("HPAC_CHAOS_EVAL_SLEEP_MS");
+}
+
+// --- read-only daemon serves a finalized store without writing it ------------
+
+TEST(Chaos, ReadOnlyDaemonServesDegradedAnswersAndNeverWrites) {
+  const std::string store_path = temp_path("ro_store.csv");
+  {
+    ResultStore seed(store_path);
+    RunRecord record;
+    record.benchmark = "blackscholes";
+    record.device = "v100";
+    const pragma::ApproxSpec spec = pragma::parse_approx("perfo(small:2)");
+    record.set_spec(spec);
+    record.spec_text = spec.to_string();
+    record.items_per_thread = 8;
+    record.speedup = 9.0;
+    record.feasible = true;
+    seed.append(record);
+  }
+  std::ifstream before_stream(store_path, std::ios::binary);
+  std::string before((std::istreambuf_iterator<char>(before_stream)),
+                     std::istreambuf_iterator<char>());
+  before_stream.close();
+
+  const std::string socket_path = temp_path("ro.sock");
+  const pid_t daemon = spawn_daemon(socket_path, store_path, "read-only");
+  await_listening(socket_path);
+  {
+    service::TuningClient client(socket_path, patient_client());
+    // Exact tuple: served memoized.
+    const TuningAnswer exact = client.query(chaos_query(8));
+    ASSERT_EQ(exact.status, TuningStatus::kOk);
+    EXPECT_TRUE(exact.memoized);
+    EXPECT_DOUBLE_EQ(exact.record.speedup, 9.0);
+    // Cold tuple: degraded to the nearest known config, never evaluated.
+    const TuningAnswer degraded = client.query(chaos_query(64));
+    ASSERT_EQ(degraded.status, TuningStatus::kDegraded) << degraded.error;
+    EXPECT_EQ(degraded.record.items_per_thread, 8u);  // the seeded neighbor
+    EXPECT_FALSE(degraded.error.empty());
+    client.shutdown_server();
+  }
+  expect_clean_exit(daemon, "read-only daemon");
+
+  std::ifstream after_stream(store_path, std::ios::binary);
+  std::string after((std::istreambuf_iterator<char>(after_stream)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_EQ(before, after) << "read-only daemon modified its store";
+}
+
+// --- byte-level abuse against an in-process server ---------------------------
+
+namespace {
+
+/// In-process server fixture for connection-level chaos: tight frame
+/// timeout, deterministic evaluator, and a helper that proves the server
+/// still answers correctly after each round of abuse.
+struct AbusedServer {
+  ResultStore store;
+  service::TuningServer server;
+
+  explicit AbusedServer(const std::string& stem)
+      : server(store, options(temp_path(stem + ".sock"))) {
+    server.start();
+  }
+
+  static service::TuningServer::Options options(const std::string& socket_path) {
+    service::TuningServer::Options opt;
+    opt.socket_path = socket_path;
+    opt.backlog = 64;  // the abuse rounds connect faster than one-by-one accept
+    opt.frame_timeout_ms = ms(200);
+    opt.service = chaos_service_config();
+    return opt;
+  }
+
+  void expect_still_serving(std::uint64_t ipt) {
+    service::TuningClient client(server.socket_path(), patient_client());
+    const TuningAnswer answer = client.query(chaos_query(ipt));
+    EXPECT_EQ(answer.status, TuningStatus::kOk) << answer.error;
+    EXPECT_DOUBLE_EQ(answer.record.speedup, 1.0 + static_cast<double>(ipt));
+  }
+};
+
+}  // namespace
+
+TEST(Chaos, TornQueryFramesAtEveryOffsetNeverKillTheServer) {
+  AbusedServer rig("torn");
+  const std::string frame = service::encode_frame(
+      service::MessageType::kQueryRequest, service::encode_query(chaos_query(3)));
+
+  // Every prefix of a valid frame, connection dropped mid-frame: the
+  // server must treat each as one dead peer and keep serving.
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    const int fd = raw_connect(rig.server.socket_path());
+    if (cut > 0) send_all(fd, frame.data(), cut);
+    ::close(fd);
+  }
+  rig.expect_still_serving(3);
+  rig.server.stop();  // joins every connection thread: none may be stuck
+}
+
+TEST(Chaos, FuzzedAndOversizedFramesAreRejectedWithoutCrashOrHang) {
+  AbusedServer rig("fuzz");
+
+  // Oversized length prefix: rejected before any allocation of that size.
+  {
+    const int fd = raw_connect(rig.server.socket_path());
+    std::string huge;
+    service::put_u32(huge, 0xFFFFFFFFu);
+    huge += "abcd";
+    send_all(fd, huge.data(), huge.size());
+    char byte = 0;
+    // The server drops the connection; the read observes EOF/reset.
+    EXPECT_LE(::read(fd, &byte, 1), 0);
+    ::close(fd);
+  }
+
+  // Seeded random garbage, assorted sizes — some will parse as plausible
+  // prefixes, none may crash, wedge, or leak the connection thread.
+  std::mt19937 rng(0xC0FFEE);
+  for (int round = 0; round < 50; ++round) {
+    std::uniform_int_distribution<int> size_dist(1, 256);
+    std::string blob(static_cast<std::size_t>(size_dist(rng)), '\0');
+    for (char& byte : blob) byte = static_cast<char>(rng() & 0xFF);
+    const int fd = raw_connect(rig.server.socket_path());
+    send_all(fd, blob.data(), blob.size());
+    ::close(fd);
+  }
+  rig.expect_still_serving(4);
+  rig.server.stop();
+}
+
+TEST(Chaos, SlowLorisIsCutOffByTheFrameTimeoutWithoutBlockingOthers) {
+  AbusedServer rig("loris");
+  const std::string frame = service::encode_frame(
+      service::MessageType::kQueryRequest, service::encode_query(chaos_query(5)));
+
+  // Start a frame, then trickle nothing: the frame clock is running.
+  const int loris = raw_connect(rig.server.socket_path());
+  send_all(loris, frame.data(), 5);
+
+  // A well-behaved client on another connection is not blocked behind it.
+  rig.expect_still_serving(5);
+
+  // The server cuts the loris off once frame_timeout_ms passes: its
+  // connection observes EOF/reset instead of staying open forever.
+  pollfd pfd{loris, POLLIN, 0};
+  ASSERT_GT(::poll(&pfd, 1, ms(5000)), 0) << "loris connection never closed";
+  char byte = 0;
+  EXPECT_LE(::read(loris, &byte, 1), 0);
+  ::close(loris);
+  rig.server.stop();
+}
+
+TEST(Chaos, ClientDisconnectMidReplyLeavesTheServerServing) {
+  // The SIGPIPE regression: the peer vanishes between request and reply,
+  // so the server's send hits a closed socket. Without MSG_NOSIGNAL the
+  // default SIGPIPE disposition kills this whole process — the assertion
+  // below cannot even run — so a pass here IS the regression proof.
+  AbusedServer rig("sigpipe");
+  ::setenv("HPAC_CHAOS_EVAL_SLEEP_MS", std::to_string(ms(150)).c_str(), 1);
+
+  const std::string frame = service::encode_frame(
+      service::MessageType::kQueryRequest, service::encode_query(chaos_query(6)));
+  const int fd = raw_connect(rig.server.socket_path());
+  send_all(fd, frame.data(), frame.size());
+  // The evaluation sleeps; close before the reply can be written.
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms(30)));
+  ::close(fd);
+
+  // The abandoned evaluation still reached the store (nothing is lost
+  // when a client hangs up early; a retry would find it memoized).
+  for (int i = 0; i < 400 && !rig.store.snapshot().contains_key(chaos_key(6)); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  EXPECT_TRUE(rig.store.snapshot().contains_key(chaos_key(6)));
+  // Safe only now: the evaluation (the lone concurrent getenv reader) is
+  // done, so mutating the environment cannot race it.
+  ::unsetenv("HPAC_CHAOS_EVAL_SLEEP_MS");
+  rig.expect_still_serving(9);
+  rig.server.stop();
+}
+
+// --- service-level failure answers over a real socket ------------------------
+
+TEST(Chaos, EvaluatorCrashesAreQuarantinedWithoutKillingTheDaemon) {
+  const std::string socket_path = temp_path("quarantine.sock");
+  const std::string store_path = temp_path("quarantine_store.csv");
+  const pid_t daemon = spawn_daemon(socket_path, store_path);
+  await_listening(socket_path);
+  {
+    service::TuningClient client(socket_path, patient_client());
+    // ipt 1000 is the injected poison tuple: evaluation always throws.
+    // The daemon must survive, exhaust the tuple's retry budget, and
+    // answer degraded from the record a healthy tuple produced.
+    ASSERT_EQ(client.query(chaos_query(11)).status, TuningStatus::kOk);
+    const TuningAnswer poisoned = client.query(chaos_query(1000));
+    EXPECT_EQ(poisoned.status, TuningStatus::kDegraded) << poisoned.error;
+    EXPECT_EQ(poisoned.record.items_per_thread, 11u);
+    // The daemon is still alive and serving after the crash storm.
+    ASSERT_EQ(client.query(chaos_query(12)).status, TuningStatus::kOk);
+    const TuningService::Stats stats = client.stats();
+    EXPECT_GE(stats.eval_failures, 1u);
+    EXPECT_GE(stats.quarantined, 1u);
+    client.shutdown_server();
+  }
+  expect_clean_exit(daemon, "daemon");
+}
+
+// --- the daemon subprocess ---------------------------------------------------
+
+namespace {
+
+int chaos_pipe[2] = {-1, -1};
+
+void chaos_on_signal(int signo) {
+  const unsigned char byte = static_cast<unsigned char>(signo);
+  [[maybe_unused]] const ssize_t n = ::write(chaos_pipe[1], &byte, 1);
+}
+
+/// `--chaos-daemon <socket> <store> [normal|read-only]` — a real daemon
+/// process with the deterministic chaos evaluator and hpacd's SIGTERM
+/// drain, for the kill/stop/drain tests above.
+int chaos_daemon_main(int argc, char** argv) {
+  if (argc < 4) return 2;
+  const std::string socket_path = argv[2];
+  const std::string store_path = argv[3];
+  const bool read_only = argc > 4 && std::string(argv[4]) == "read-only";
+  try {
+    ResultStore store(store_path, read_only);
+    service::TuningServer::Options options;
+    options.socket_path = socket_path;
+    options.frame_timeout_ms = ms(2000);
+    options.service = chaos_service_config();
+    options.service.read_only = read_only;
+    service::TuningServer server(store, options);
+
+    if (::pipe(chaos_pipe) != 0) return 1;
+    std::signal(SIGTERM, chaos_on_signal);
+    std::thread drainer([&server] {
+      unsigned char signo = 0;
+      if (::read(chaos_pipe[0], &signo, 1) == 1 && signo == SIGTERM) server.drain();
+    });
+
+    server.start();
+    server.wait();
+    server.stop();
+    ::close(chaos_pipe[1]);
+    chaos_pipe[1] = -1;
+    drainer.join();
+    ::close(chaos_pipe[0]);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "chaos daemon: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--chaos-daemon") {
+    return chaos_daemon_main(argc, argv);
+  }
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

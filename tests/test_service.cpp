@@ -303,6 +303,183 @@ TEST(TuningService, DrainsClientsRoundRobin) {
   EXPECT_EQ(service.stats().evaluated, 4u);
 }
 
+// --- failure handling: deadlines, degraded answers, quarantine, read-only ----
+
+namespace {
+
+/// A store pre-seeded with one known blackscholes tuple (ipt 8) — the
+/// candidate every degraded answer in these tests should fall back to.
+RunRecord seed_known_tuple(ResultStore& store, std::uint64_t ipt = 8) {
+  const pragma::ApproxSpec spec = pragma::parse_approx("perfo(small:2)");
+  RunRecord seeded;
+  seeded.benchmark = "blackscholes";
+  seeded.device = "v100";
+  seeded.spec_text = spec.to_string();
+  seeded.set_spec(spec);
+  seeded.items_per_thread = ipt;
+  seeded.speedup = 4.0;
+  seeded.feasible = true;
+  store.append(seeded);
+  return seeded;
+}
+
+TuningQuery with_deadline(TuningQuery query, std::uint32_t deadline_ms) {
+  query.deadline_ms = deadline_ms;
+  return query;
+}
+
+}  // namespace
+
+TEST(TuningService, DeadlineExceededWhenEvaluatorIsBusyAndStoreIsEmpty) {
+  ResultStore store;
+  Gate gate;
+  TuningServiceConfig cfg;
+  cfg.evaluate_override = [&gate](const TuningQuery&, const pragma::ApproxSpec&) {
+    ++gate.entered;
+    gate.wait_open();
+    RunRecord r;
+    r.speedup = 2.0;
+    return r;
+  };
+  TuningService service(store, cfg);
+
+  std::thread blocked([&] {
+    EXPECT_EQ(service.query(query_for("perfo(small:2)"), "alice").status,
+              TuningStatus::kOk);
+  });
+  gate.await_entered(1);  // the evaluator is wedged on alice's tuple
+
+  // bob's deadline fires while alice's evaluation holds the evaluator; the
+  // store knows nothing, so there is no degraded fallback either.
+  const TuningAnswer late =
+      service.query(with_deadline(query_for("perfo(large:4)"), 30), "bob");
+  EXPECT_EQ(late.status, TuningStatus::kDeadlineExceeded);
+  EXPECT_FALSE(late.error.empty());
+
+  gate.release();
+  blocked.join();
+  const TuningService::Stats stats = service.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.degraded, 0u);
+}
+
+TEST(TuningService, MissedDeadlineDegradesToNearestKnownConfig) {
+  ResultStore store;
+  const RunRecord seeded = seed_known_tuple(store, /*ipt=*/8);
+  Gate gate;
+  TuningServiceConfig cfg;
+  cfg.evaluate_override = [&gate](const TuningQuery&, const pragma::ApproxSpec&) {
+    ++gate.entered;
+    gate.wait_open();
+    RunRecord r;
+    r.speedup = 2.0;
+    return r;
+  };
+  TuningService service(store, cfg);
+
+  std::thread blocked([&] {
+    EXPECT_EQ(service.query(query_for("perfo(large:4)", 16), "alice").status,
+              TuningStatus::kOk);
+  });
+  gate.await_entered(1);
+
+  // Same benchmark, different ipt: past the deadline the service answers
+  // with the seeded neighbor instead of stalling or refusing.
+  const TuningAnswer degraded =
+      service.query(with_deadline(query_for("perfo(small:2)", 64), 30), "bob");
+  ASSERT_EQ(degraded.status, TuningStatus::kDegraded);
+  EXPECT_FALSE(degraded.memoized);
+  EXPECT_EQ(degraded.record.items_per_thread, seeded.items_per_thread);
+  EXPECT_DOUBLE_EQ(degraded.record.speedup, seeded.speedup);
+  EXPECT_FALSE(degraded.error.empty());  // explains why the exact tuple is missing
+
+  gate.release();
+  blocked.join();
+  const TuningService::Stats stats = service.stats();
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);  // the deadline is what degraded it
+}
+
+TEST(TuningService, MemoizedAnswersIgnoreImpossibleDeadlines) {
+  ResultStore store;
+  seed_known_tuple(store, /*ipt=*/8);
+  CountingEvaluator eval;
+  TuningService service(store, eval.config());
+
+  // Already-known tuples are always in time — even a 0-slack deadline.
+  const TuningAnswer warm =
+      service.query(with_deadline(query_for("perfo(small:2)", 8), 1));
+  ASSERT_EQ(warm.status, TuningStatus::kOk);
+  EXPECT_TRUE(warm.memoized);
+  EXPECT_EQ(eval.calls.load(), 0u);
+}
+
+TEST(TuningService, ThrowingEvaluationsAreQuarantinedAfterTheRetryBudget) {
+  ResultStore store;
+  std::atomic<int> attempts{0};
+  TuningServiceConfig cfg;
+  cfg.max_eval_failures = 2;
+  cfg.evaluate_override = [&attempts](const TuningQuery&, const pragma::ApproxSpec&) {
+    ++attempts;
+    throw Error("injected evaluation failure");
+    return RunRecord{};  // unreachable
+  };
+  TuningService service(store, cfg);
+
+  // The failing tuple exhausts its retry budget without ever escaping the
+  // service as an exception; with an empty store there is no fallback.
+  const TuningAnswer first = service.query(query_for("perfo(small:2)"));
+  EXPECT_EQ(first.status, TuningStatus::kError);
+  EXPECT_NE(first.error.find("quarantine"), std::string::npos) << first.error;
+  EXPECT_NE(first.error.find("injected evaluation failure"), std::string::npos)
+      << first.error;
+  EXPECT_EQ(attempts.load(), 2);
+
+  // Quarantine is remembered: the repeat answers without re-evaluating.
+  const TuningAnswer repeat = service.query(query_for("perfo(small:2)"));
+  EXPECT_EQ(repeat.status, TuningStatus::kError);
+  EXPECT_EQ(attempts.load(), 2);
+
+  const TuningService::Stats stats = service.stats();
+  EXPECT_EQ(stats.eval_failures, 2u);
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(store.size(), 0u);
+
+  // Once the store knows a neighbor, the quarantined tuple degrades to it
+  // instead of erroring — availability improves as knowledge arrives.
+  seed_known_tuple(store, /*ipt=*/16);
+  const TuningAnswer degraded = service.query(query_for("perfo(small:2)"));
+  EXPECT_EQ(degraded.status, TuningStatus::kDegraded);
+  EXPECT_EQ(degraded.record.items_per_thread, 16u);
+  EXPECT_EQ(attempts.load(), 2);  // still never re-evaluated
+}
+
+TEST(TuningService, ReadOnlyServiceServesKnownTuplesAndDegradesColdOnes) {
+  ResultStore store;
+  seed_known_tuple(store, /*ipt=*/8);
+  CountingEvaluator eval;
+  TuningServiceConfig cfg = eval.config();
+  cfg.read_only = true;
+  TuningService service(store, cfg);
+
+  const TuningAnswer exact = service.query(query_for("perfo(small:2)", 8));
+  ASSERT_EQ(exact.status, TuningStatus::kOk);
+  EXPECT_TRUE(exact.memoized);
+
+  const TuningAnswer cold = service.query(query_for("perfo(small:2)", 64));
+  ASSERT_EQ(cold.status, TuningStatus::kDegraded);
+  EXPECT_EQ(cold.record.items_per_thread, 8u);
+  EXPECT_FALSE(cold.error.empty());
+
+  // A (valid) benchmark the store has never seen has nothing to degrade to.
+  const TuningAnswer unknown = service.query(query_for("perfo(small:2)", 8, "lavamd"));
+  EXPECT_EQ(unknown.status, TuningStatus::kError);
+  EXPECT_FALSE(unknown.error.empty());
+
+  EXPECT_EQ(eval.calls.load(), 0u);  // read-only: the evaluator is never touched
+  EXPECT_EQ(store.size(), 1u);
+}
+
 // --- wire protocol -----------------------------------------------------------
 
 TEST(Protocol, ScalarsRoundTripLittleEndian) {
@@ -354,6 +531,45 @@ TEST(Protocol, QueryAndStatsRoundTrip) {
   EXPECT_EQ(back.evaluated, 3u);
   EXPECT_EQ(back.coalesced, 2u);
   EXPECT_EQ(back.rejected, 1u);
+}
+
+TEST(Protocol, V2DeadlineAndFailureCountersRoundTrip) {
+  // The v2 additions: a query's deadline survives the wire...
+  TuningQuery query = query_for("perfo(small:2)", 8);
+  query.deadline_ms = 1500;
+  EXPECT_EQ(service::decode_query(service::encode_query(query)).deadline_ms, 1500u);
+
+  // ...and so do all the failure-handling counters.
+  const TuningService::Stats stats{10, 4, 3, 2, 1, 9, 8, 7, 6};
+  const TuningService::Stats back = service::decode_stats(service::encode_stats(stats));
+  EXPECT_EQ(back.degraded, 9u);
+  EXPECT_EQ(back.deadline_exceeded, 8u);
+  EXPECT_EQ(back.eval_failures, 7u);
+  EXPECT_EQ(back.quarantined, 6u);
+}
+
+TEST(Protocol, DegradedAnswersCarryTheirSubstituteRecord) {
+  TuningAnswer degraded;
+  degraded.status = TuningStatus::kDegraded;
+  degraded.record.benchmark = "blackscholes";
+  degraded.record.items_per_thread = 8;
+  degraded.record.speedup = 4.0;
+  degraded.error = "deadline exceeded; nearest known config substituted";
+
+  const TuningAnswer back = service::decode_answer(service::encode_answer(degraded));
+  EXPECT_EQ(back.status, TuningStatus::kDegraded);
+  EXPECT_EQ(back.record.benchmark, "blackscholes");
+  EXPECT_EQ(back.record.items_per_thread, 8u);
+  EXPECT_DOUBLE_EQ(back.record.speedup, 4.0);
+  EXPECT_EQ(back.error, degraded.error);
+
+  // kDeadlineExceeded carries no record, like kRejected/kError.
+  TuningAnswer late;
+  late.status = TuningStatus::kDeadlineExceeded;
+  late.error = "deadline exceeded before evaluation";
+  const TuningAnswer late_back = service::decode_answer(service::encode_answer(late));
+  EXPECT_EQ(late_back.status, TuningStatus::kDeadlineExceeded);
+  EXPECT_EQ(late_back.error, late.error);
 }
 
 TEST(Protocol, AnswerRoundTripsEveryRecordField) {

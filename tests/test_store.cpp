@@ -201,6 +201,94 @@ TEST(ResultStore, RestoresJournalAndDropsTornTail) {
   EXPECT_EQ(slurp(path), healthy);
 }
 
+TEST(ResultStore, TornTailIsTruncatedOutOfTheFileBeforeAppendsResume) {
+  const std::string path = temp_csv("torn_truncate");
+  std::string healthy;
+  {
+    ResultStore store(path);
+    for (std::uint64_t i = 0; i < 3; ++i) store.append(make_record(i));
+    healthy = slurp(path);
+  }
+  const std::size_t cut = healthy.rfind(",perfo");
+  ASSERT_NE(cut, std::string::npos);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << healthy.substr(0, cut);
+  }
+
+  // Reopening repairs the FILE, not just the in-memory index: the half
+  // row is gone from disk the moment the store is constructed. Without
+  // this, the next append would glue onto the torn row and corrupt a
+  // mid-file line that every later reload mis-parses.
+  {
+    ResultStore reopened(path);
+    const std::string repaired = slurp(path);
+    EXPECT_EQ(repaired.size(), healthy.rfind('\n', cut) + 1);
+    EXPECT_EQ(repaired.back(), '\n');
+    reopened.append(make_record(2));
+  }
+  EXPECT_EQ(slurp(path), healthy);  // byte-identical to the uninterrupted run
+
+  // A file torn before any complete row survives degenerates to a fresh
+  // journal (header rewritten), not a parse error.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "benchmark,half a hea";
+  }
+  ResultStore fresh(path);
+  EXPECT_EQ(fresh.load_stats().restored, 0u);
+  fresh.append(make_record(0));
+  ResultStore audit(path);
+  EXPECT_EQ(audit.load_stats().restored, 1u);
+}
+
+TEST(ResultStore, ReadOnlyStoreServesButNeverWrites) {
+  const std::string path = temp_csv("read_only");
+  {
+    ResultStore writer(path);
+    for (std::uint64_t i = 0; i < 3; ++i) writer.append(make_record(i));
+  }
+  const std::string before = slurp(path);
+
+  ResultStore ro(path, /*read_only=*/true);
+  EXPECT_TRUE(ro.read_only());
+  EXPECT_EQ(ro.load_stats().restored, 3u);
+  EXPECT_TRUE(ro.snapshot().contains_key(ResultStore::key_of(make_record(1))));
+  EXPECT_THROW(ro.append(make_record(9)), Error);
+  EXPECT_THROW(ro.append_if_absent(make_record(9)), Error);
+  EXPECT_THROW(ro.finalize(ro.snapshot().to_db()), Error);
+  EXPECT_EQ(slurp(path), before);  // not a byte changed, not even a truncation
+
+  // Read-only without an existing journal is a configuration error, not
+  // an empty store silently serving nothing.
+  EXPECT_THROW(ResultStore missing(temp_csv("read_only_missing"), /*read_only=*/true),
+               Error);
+}
+
+TEST(ResultStore, ReadOnlyStoreLeavesATornTailInPlace) {
+  const std::string path = temp_csv("read_only_torn");
+  std::string healthy;
+  {
+    ResultStore writer(path);
+    for (std::uint64_t i = 0; i < 3; ++i) writer.append(make_record(i));
+    healthy = slurp(path);
+  }
+  const std::size_t cut = healthy.rfind(",perfo");
+  ASSERT_NE(cut, std::string::npos);
+  const std::string torn = healthy.substr(0, cut);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << torn;
+  }
+
+  // The index drops the torn row (it cannot be served), but the file —
+  // possibly another process's live journal — is left exactly as found.
+  ResultStore ro(path, /*read_only=*/true);
+  EXPECT_EQ(ro.load_stats().restored, 2u);
+  EXPECT_FALSE(ro.snapshot().contains_key(ResultStore::key_of(make_record(2))));
+  EXPECT_EQ(slurp(path), torn);
+}
+
 TEST(ResultStore, FinalizeIsTerminal) {
   const std::string path = temp_csv("finalize");
   ResultStore store(path);
