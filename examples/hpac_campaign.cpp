@@ -195,7 +195,8 @@ int run_distributed(const harness::Campaign& campaign, const std::string& dist_d
                     bool finalize_only, harness::DistributedCampaign::Options opt,
                     double max_error) {
   opt.dir = dist_dir;
-  opt.worker = worker_id.empty() ? "w" + std::to_string(::getpid()) : worker_id;
+  opt.worker =
+      worker_id.empty() ? strings::format("w%d", static_cast<int>(::getpid())) : worker_id;
   harness::DistributedCampaign dist(campaign, opt);
   std::printf("distributed campaign in %s: %zu tuples, %zu shards (plan %s)\n",
               dist_dir.c_str(), campaign.tuple_count(), campaign.shard_count(),

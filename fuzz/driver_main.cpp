@@ -1,0 +1,51 @@
+// Standalone replay driver substituted for libFuzzer when the toolchain
+// has no -fsanitize=fuzzer (gcc builds): runs every corpus file named on
+// the command line (directories are walked) through the fuzz target once.
+// No mutation — this is the "corpus stays green" half of the contract;
+// actual fuzzing happens in the clang CI job.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+int replay_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read corpus input: %s\n", path.c_str());
+    return 1;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // ignore libFuzzer flags
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path().string());
+      }
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  int failures = 0;
+  for (const std::string& path : inputs) failures += replay_file(path);
+  std::printf("replayed %zu corpus inputs\n", inputs.size());
+  return failures == 0 ? 0 : 1;
+}

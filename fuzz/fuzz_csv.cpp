@@ -1,0 +1,5 @@
+#include "targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return hpac::fuzz::run_csv(data, size);
+}

@@ -256,7 +256,7 @@ bool ExtentImageCache::lookup(const RegionBinding& binding, std::uint64_t n,
     }
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   const auto it = variants_.find(Key{&binding, n});
   if (it == variants_.end()) return false;
   for (const Variant& variant : it->second) {
@@ -274,7 +274,7 @@ void ExtentImageCache::store(const RegionBinding& binding, std::uint64_t n,
                              std::optional<Shape> shape,
                              const std::vector<ByteInterval>& exclusive_extents,
                              const std::vector<ByteInterval>& all_extents) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   ++stats_.misses;
   if (!shape) {
     ++stats_.non_affine;

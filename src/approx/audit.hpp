@@ -3,12 +3,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/annotated_mutex.hpp"
 
 namespace hpac::approx {
 
@@ -165,7 +166,7 @@ class ExtentImageCache {
   };
 
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return stats_;
   }
 
@@ -210,9 +211,9 @@ class ExtentImageCache {
              const std::vector<ByteInterval>& exclusive_extents,
              const std::vector<ByteInterval>& all_extents);
 
-  mutable std::mutex mutex_;
-  std::map<Key, std::vector<Variant>> variants_;
-  Stats stats_;
+  mutable common::Mutex mutex_;
+  std::map<Key, std::vector<Variant>> variants_ GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
 };
 
 /// Drives the audit of one region launch. Constructed before the launch

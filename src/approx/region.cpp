@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "approx/hierarchy.hpp"
 #include "approx/perforation.hpp"
 #include "approx/taf.hpp"
+#include "common/annotated_mutex.hpp"
 #include "common/error.hpp"
 #include "common/function_ref.hpp"
 #include "common/scheduler.hpp"
@@ -29,8 +29,8 @@ using sim::LaneMask;
 
 // --- default tuning and the shared host pool -------------------------------
 
-std::mutex& tuning_mutex() {
-  static std::mutex m;
+common::Mutex& tuning_mutex() {
+  static common::Mutex m;
   return m;
 }
 
@@ -807,17 +807,17 @@ RegionExecutor::RegionExecutor(sim::DeviceConfig dev, Replacement replacement, R
       tuning_(default_tuning()) {}
 
 void RegionExecutor::set_default_tuning(const ExecTuning& tuning) {
-  std::lock_guard<std::mutex> lock(tuning_mutex());
+  common::MutexLock lock(tuning_mutex());
   default_tuning_storage() = tuning;
 }
 
 ExecTuning RegionExecutor::default_tuning() {
-  std::lock_guard<std::mutex> lock(tuning_mutex());
+  common::MutexLock lock(tuning_mutex());
   return default_tuning_storage();
 }
 
 void RegionExecutor::set_default_audit(audit::AuditMode mode, bool differential) {
-  std::lock_guard<std::mutex> lock(tuning_mutex());
+  common::MutexLock lock(tuning_mutex());
   default_tuning_storage().audit_mode = mode;
   default_tuning_storage().audit_differential = differential;
 }

@@ -41,10 +41,10 @@ struct Scheduler::Job {
   std::atomic<std::size_t> next{0};   ///< next unclaimed index
   std::atomic<std::size_t> slots{0};  ///< participant slot allocator
   std::atomic<bool> cancelled{false};
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  std::size_t active = 0;     ///< participants inside the claim loop (guarded by mutex)
-  std::exception_ptr error;   ///< first failure (guarded by mutex)
+  common::Mutex mutex;
+  common::CondVar done_cv;
+  std::size_t active GUARDED_BY(mutex) = 0;  ///< participants inside the claim loop
+  std::exception_ptr error GUARDED_BY(mutex);  ///< first failure
 };
 
 Scheduler::Scheduler(std::size_t num_workers)
@@ -57,7 +57,7 @@ Scheduler::Scheduler(std::size_t num_workers)
 
 Scheduler::~Scheduler() {
   {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    common::MutexLock lock(sleep_mutex_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -88,7 +88,7 @@ void Scheduler::participate(Job& job) {
   const std::size_t slot = job.slots.fetch_add(1, std::memory_order_relaxed);
   if (slot >= job.limit) return;  // limit-1 tickets + the caller: cannot trip
   {
-    std::lock_guard<std::mutex> lock(job.mutex);
+    common::MutexLock lock(job.mutex);
     ++job.active;
   }
   for (;;) {
@@ -101,13 +101,13 @@ void Scheduler::participate(Job& job) {
       --t_task_depth;
     } catch (...) {
       --t_task_depth;
-      std::lock_guard<std::mutex> lock(job.mutex);
+      common::MutexLock lock(job.mutex);
       if (!job.error) job.error = std::current_exception();
       job.cancelled.store(true, std::memory_order_release);
     }
   }
   {
-    std::lock_guard<std::mutex> lock(job.mutex);
+    common::MutexLock lock(job.mutex);
     --job.active;
   }
   job.done_cv.notify_all();
@@ -119,11 +119,11 @@ void Scheduler::push_tickets(const std::shared_ptr<Job>& job, std::size_t n) {
       t_worker_owner == this && t_worker_index != kNotAWorker ? t_worker_index
                                                               : deques_.size() - 1;
   {
-    std::lock_guard<std::mutex> lock(deques_[home].mutex);
+    common::MutexLock lock(deques_[home].mutex);
     for (std::size_t i = 0; i < n; ++i) deques_[home].tickets.push_back(job);
   }
   {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    common::MutexLock lock(sleep_mutex_);
     unpopped_tickets_ += n;
   }
   wake_cv_.notify_all();
@@ -136,7 +136,7 @@ std::shared_ptr<Scheduler::Job> Scheduler::next_ticket(std::size_t home) {
     // Own deque, newest first: nested jobs spawned here finish before the
     // deque's older backlog grows a dependent.
     TaskDeque& own = deques_[home];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    common::MutexLock lock(own.mutex);
     if (!own.tickets.empty()) {
       job = std::move(own.tickets.back());
       own.tickets.pop_back();
@@ -146,14 +146,14 @@ std::shared_ptr<Scheduler::Job> Scheduler::next_ticket(std::size_t home) {
     // Victims round-robin from our right-hand neighbor; steal the oldest
     // ticket so long-waiting fan-outs are helped first.
     TaskDeque& victim = deques_[(home + k) % n];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    common::MutexLock lock(victim.mutex);
     if (!victim.tickets.empty()) {
       job = std::move(victim.tickets.front());
       victim.tickets.pop_front();
     }
   }
   if (job) {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    common::MutexLock lock(sleep_mutex_);
     --unpopped_tickets_;
   }
   return job;
@@ -167,8 +167,10 @@ void Scheduler::worker_loop(std::size_t worker_index) {
       participate(*job);
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
-    wake_cv_.wait(lock, [&] { return stop_ || unpopped_tickets_ > 0; });
+    // Explicit wait loop (not a predicate lambda) so the thread-safety
+    // analysis sees the guarded reads under sleep_mutex_.
+    common::UniqueMutexLock lock(sleep_mutex_);
+    while (!stop_ && unpopped_tickets_ == 0) wake_cv_.wait(lock);
     if (stop_) return;
   }
 }
@@ -201,12 +203,12 @@ void Scheduler::parallel_for(
   push_tickets(job, limit - 1);
   participate(*job);  // the caller claims indices too — it never idles
 
-  std::unique_lock<std::mutex> lock(job->mutex);
-  job->done_cv.wait(lock, [&] {
-    return job->active == 0 &&
+  common::UniqueMutexLock lock(job->mutex);
+  while (!(job->active == 0 &&
            (job->cancelled.load(std::memory_order_acquire) ||
-            job->next.load(std::memory_order_acquire) >= job->count);
-  });
+            job->next.load(std::memory_order_acquire) >= job->count))) {
+    job->done_cv.wait(lock);
+  }
   if (job->error) {
     std::exception_ptr error = job->error;
     lock.unlock();

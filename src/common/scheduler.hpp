@@ -1,13 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_mutex.hpp"
 
 namespace hpac {
 
@@ -91,8 +91,8 @@ class Scheduler {
 
   /// One Chase–Lev-style deque: owner bottom, thieves top.
   struct TaskDeque {
-    std::mutex mutex;
-    std::deque<std::shared_ptr<Job>> tickets;
+    common::Mutex mutex;
+    std::deque<std::shared_ptr<Job>> tickets GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t worker_index);
@@ -104,10 +104,10 @@ class Scheduler {
   /// workers().
   std::vector<TaskDeque> deques_;
   std::vector<std::thread> workers_;
-  std::mutex sleep_mutex_;
-  std::condition_variable wake_cv_;
-  std::size_t unpopped_tickets_ = 0;  ///< guarded by sleep_mutex_
-  bool stop_ = false;                 ///< guarded by sleep_mutex_
+  common::Mutex sleep_mutex_;
+  common::CondVar wake_cv_;
+  std::size_t unpopped_tickets_ GUARDED_BY(sleep_mutex_) = 0;
+  bool stop_ GUARDED_BY(sleep_mutex_) = false;
 };
 
 }  // namespace hpac

@@ -83,7 +83,7 @@ bool parse_double(std::string_view s, double& out) {
   // (locale-sensitive; the CSV locale round-trip tests will flag it).
   std::string buf(s);
   char* end = nullptr;
-  const double value = std::strtod(buf.c_str(), &end);
+  const double value = std::strtod(buf.c_str(), &end);  // hpac-lint: allow(banned-function)
   if (end != buf.c_str() + buf.size()) return false;
   out = value;
   return true;

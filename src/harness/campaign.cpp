@@ -1,11 +1,11 @@
 #include "harness/campaign.hpp"
 
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "approx/audit.hpp"
+#include "common/annotated_mutex.hpp"
 #include "apps/registry.hpp"
 #include "common/error.hpp"
 #include "common/scheduler.hpp"
@@ -156,8 +156,8 @@ CampaignResult Campaign::run(ResultStore& store) {
   // already flushed — so a blocked callback stalls only other callbacks,
   // never the journaling by concurrent workers. (Holding `mutex` across
   // the callback used to deadlock exactly that pattern.)
-  std::mutex mutex;
-  std::mutex callback_mutex;
+  common::Mutex mutex;
+  common::Mutex callback_mutex;
   auto run_shard = [&](std::size_t shard_index) {
     const Shard& shard = shards_[shard_index];
     auto app = apps::make_benchmark(shard.benchmark);
@@ -169,7 +169,7 @@ CampaignResult Campaign::run(ResultStore& store) {
       const RunRecord record = explorer.run_config((*shard.specs)[t / ipt_count],
                                                    plan_.items_per_thread[t % ipt_count]);
       {
-        std::lock_guard<std::mutex> lock(mutex);
+        common::MutexLock lock(mutex);
         records[index] = record;
         done[index] = 1;
         // The store flushes the journal row before publishing, so by the
@@ -179,7 +179,7 @@ CampaignResult Campaign::run(ResultStore& store) {
         ++result.evaluated;
       }
       if (plan_.on_record) {
-        std::lock_guard<std::mutex> lock(callback_mutex);
+        common::MutexLock lock(callback_mutex);
         plan_.on_record(record);
       }
     }

@@ -5,13 +5,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -19,6 +17,7 @@
 #include <utility>
 
 #include "apps/registry.hpp"
+#include "common/annotated_mutex.hpp"
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/fileops.hpp"
@@ -39,7 +38,9 @@ constexpr std::uint32_t kPollMs = 20;
 int kill_after_target() {
   static const int target = [] {
     const char* env = std::getenv("HPAC_DIST_TEST_KILL_AFTER");
-    return env != nullptr ? std::atoi(env) : 0;
+    long long value = 0;
+    return env != nullptr && strings::parse_int(env, value) ? static_cast<int>(value)
+                                                            : 0;
   }();
   return target;
 }
@@ -61,7 +62,10 @@ void maybe_kill_after_append() {
 void maybe_stall_for_test() {
   static const long stall_ms = [] {
     const char* env = std::getenv("HPAC_DIST_TEST_STALL_MS");
-    return env != nullptr ? std::atol(env) : 0L;
+    long long value = 0;
+    return env != nullptr && strings::parse_int(env, value)
+               ? static_cast<long>(value)
+               : 0L;
   }();
   if (stall_ms <= 0) return;
   static std::atomic<bool> done{false};
@@ -201,9 +205,9 @@ struct DistributedCampaign::Runner {
   std::unordered_map<std::size_t, ShardCtx> ctxs;
 
   // Heartbeat thread state.
-  std::mutex hb_mutex;
-  std::condition_variable hb_cv;
-  bool hb_stop = false;
+  common::Mutex hb_mutex;
+  common::CondVar hb_cv;
+  bool hb_stop GUARDED_BY(hb_mutex) = false;
   std::thread hb_thread;
 
   explicit Runner(const DistributedCampaign& d)
@@ -217,18 +221,24 @@ struct DistributedCampaign::Runner {
 
   void start_heartbeats() {
     hb_thread = std::thread([this] {
-      std::unique_lock<std::mutex> lock(hb_mutex);
+      common::UniqueMutexLock lock(hb_mutex);
       while (!hb_stop) {
         journal.heartbeat();
-        hb_cv.wait_for(lock, std::chrono::milliseconds(dist.options_.heartbeat_ms),
-                       [this] { return hb_stop; });
+        // Explicit deadline loop (not a predicate lambda, which the
+        // thread-safety analysis cannot see into): sleep until the next
+        // beat is due or stop_heartbeats() wakes us.
+        const auto next_beat = std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(dist.options_.heartbeat_ms);
+        while (!hb_stop &&
+               hb_cv.wait_until(lock, next_beat) != std::cv_status::timeout) {
+        }
       }
     });
   }
 
   void stop_heartbeats() {
     {
-      std::lock_guard<std::mutex> lock(hb_mutex);
+      common::MutexLock lock(hb_mutex);
       hb_stop = true;
     }
     hb_cv.notify_all();

@@ -1,5 +1,6 @@
 #include "harness/lease_journal.hpp"
 
+#include <limits.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -12,6 +13,12 @@
 #include "common/strings.hpp"
 
 namespace hpac::harness {
+
+// The atomic-append transport is only torn-proof if every sealed record
+// fits in one POSIX-atomic write(2). hpac_lint checks this assertion stays
+// in place.
+static_assert(LeaseJournal::kMaxRecordBytes < PIPE_BUF,
+              "lease records must fit one atomic O_APPEND write");
 
 namespace {
 
@@ -56,7 +63,9 @@ std::uint64_t generate_nonce() {
 int torn_append_target() {
   static const int target = [] {
     const char* env = std::getenv("HPAC_DIST_TEST_TORN_APPEND");
-    return env != nullptr ? std::atoi(env) : 0;
+    long long value = 0;
+    return env != nullptr && strings::parse_int(env, value) ? static_cast<int>(value)
+                                                            : 0;
   }();
   return target;
 }
@@ -186,6 +195,12 @@ LeaseJournal::LeaseJournal(Options options) : options_(std::move(options)) {
   HPAC_REQUIRE(valid_worker_name(options_.worker),
                "lease journal worker id must be [A-Za-z0-9_.-]+: '" + options_.worker +
                    "'");
+  // The worker-name cap is what makes kMaxRecordBytes (and with it the
+  // PIPE_BUF torn-write guarantee) a real bound rather than a hope.
+  HPAC_REQUIRE(options_.worker.size() <= kMaxWorkerNameBytes,
+               "lease journal worker id exceeds " +
+                   std::to_string(kMaxWorkerNameBytes) + " bytes: '" +
+                   options_.worker + "'");
   HPAC_REQUIRE(options_.domain > 0, "lease journal needs a non-empty tuple domain");
   HPAC_REQUIRE(options_.ttl_ms > 0, "lease journal TTL must be positive");
   if (options_.nonce == 0) options_.nonce = generate_nonce();
@@ -207,7 +222,7 @@ LeaseJournal::LeaseJournal(Options options) : options_(std::move(options)) {
   if (options_.mode == AppendMode::kAtomicAppend) {
     appender_ = std::make_unique<fileops::AppendFile>(options_.path);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   refresh_locked();
 }
 
@@ -227,7 +242,7 @@ std::uint64_t LeaseJournal::now_ms() {
 // --- reading -----------------------------------------------------------------
 
 void LeaseJournal::refresh() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   refresh_locked();
 }
 
@@ -299,6 +314,11 @@ void LeaseJournal::consume_bytes(std::string_view bytes) {
 
 void LeaseJournal::append_record(const std::string& body) {
   const std::string line = sealed_line(body);
+  // Belt over the static bound: no record may outgrow the single-write
+  // atomicity window, whatever future record kinds get added.
+  HPAC_REQUIRE(line.size() <= kMaxRecordBytes,
+               "lease record exceeds the atomic-append bound: " +
+                   std::to_string(line.size()) + " bytes");
   if (options_.mode == AppendMode::kAtomicAppend) {
     const int torn_target = torn_append_target();
     if (torn_target > 0 && g_append_count.fetch_add(1) + 1 == torn_target) {
@@ -323,7 +343,7 @@ void LeaseJournal::append_record(const std::string& body) {
 }
 
 std::vector<std::size_t> LeaseJournal::claim(std::size_t first, std::size_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   HPAC_REQUIRE(count > 0 && first + count <= options_.domain,
                "lease claim out of range");
   append_record("C " + std::to_string(first) + " " + std::to_string(count) + " " +
@@ -344,20 +364,20 @@ std::vector<std::size_t> LeaseJournal::claim(std::size_t first, std::size_t coun
 }
 
 void LeaseJournal::heartbeat() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   append_record("H " + options_.worker + " " + std::to_string(options_.nonce) + " " +
                 std::to_string(now_ms()));
 }
 
 void LeaseJournal::release(std::size_t tuple) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   HPAC_REQUIRE(tuple < options_.domain, "lease release out of range");
   append_record("R " + std::to_string(tuple) + " " + options_.worker + " " +
                 std::to_string(options_.nonce));
 }
 
 LeaseJournal::ReclaimOutcome LeaseJournal::try_reclaim(std::size_t tuple) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   HPAC_REQUIRE(tuple < options_.domain, "lease reclaim out of range");
   refresh_locked();
   const TupleState st = tuples_[tuple];
@@ -389,7 +409,7 @@ bool LeaseJournal::owner_expired_locked(const TupleState& st, std::uint64_t now)
 }
 
 bool LeaseJournal::holds(std::size_t tuple) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   refresh_locked();
   const TupleState& st = tuples_[tuple];
   return st.claimed && !st.released && st.worker == options_.worker &&
@@ -397,14 +417,14 @@ bool LeaseJournal::holds(std::size_t tuple) {
 }
 
 LeaseJournal::TupleState LeaseJournal::state(std::size_t tuple) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   HPAC_REQUIRE(tuple < options_.domain, "lease state out of range");
   refresh_locked();
   return tuples_[tuple];
 }
 
 bool LeaseJournal::all_released(std::size_t first, std::size_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   refresh_locked();
   for (std::size_t i = first; i < first + count; ++i) {
     if (!tuples_[i].released) return false;
@@ -413,7 +433,7 @@ bool LeaseJournal::all_released(std::size_t first, std::size_t count) {
 }
 
 std::vector<std::size_t> LeaseJournal::expired(std::size_t first, std::size_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   refresh_locked();
   const std::uint64_t now = now_ms();
   std::vector<std::size_t> out;
@@ -426,7 +446,7 @@ std::vector<std::size_t> LeaseJournal::expired(std::size_t first, std::size_t co
 
 std::optional<std::pair<std::size_t, std::size_t>> LeaseJournal::next_unclaimed_run(
     std::size_t domain_count, std::size_t max_len, std::size_t rotate) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   HPAC_REQUIRE(domain_count <= options_.domain, "unclaimed scan out of range");
   if (domain_count == 0 || max_len == 0) return std::nullopt;
   refresh_locked();
@@ -444,7 +464,7 @@ std::optional<std::pair<std::size_t, std::size_t>> LeaseJournal::next_unclaimed_
 }
 
 std::size_t LeaseJournal::invalid_lines() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   refresh_locked();
   return invalid_lines_;
 }
@@ -452,11 +472,15 @@ std::size_t LeaseJournal::invalid_lines() {
 // --- inspect -----------------------------------------------------------------
 
 LeaseJournal::Inspection LeaseJournal::inspect(const std::string& path) {
-  Inspection out;
   std::string bytes;
   if (!fileops::read_file(path, bytes)) {
     throw Error("no lease journal at " + path);
   }
+  return inspect_bytes(bytes);
+}
+
+LeaseJournal::Inspection LeaseJournal::inspect_bytes(std::string_view bytes) {
+  Inspection out;
   Replay replay{out.tuples, out.last_seen, &out};
   std::size_t start = 0;
   bool saw_header = false;

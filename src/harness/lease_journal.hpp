@@ -2,12 +2,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated_mutex.hpp"
 #include "common/fileops.hpp"
 
 namespace hpac::harness {
@@ -163,27 +163,54 @@ class LeaseJournal {
   std::size_t invalid_lines();
 
   static Inspection inspect(const std::string& path);
+
+  /// inspect() over bytes already in memory — the parser entry the fuzz
+  /// harness drives directly, with no filesystem in the loop.
+  static Inspection inspect_bytes(std::string_view bytes);
+
   static std::uint64_t now_ms();
   static const char* mode_name(AppendMode mode);
+
+  /// Worker ids longer than this are rejected at construction. The cap is
+  /// what makes kMaxRecordBytes a real bound: every record embeds at most
+  /// two worker names.
+  static constexpr std::size_t kMaxWorkerNameBytes = 64;
+
+  /// Upper bound on one sealed record line (body + checksum + newline).
+  /// The widest record is the CAS reclaim:
+  ///   X <tuple> <old_w> <old_nonce> <w> <nonce> <ts>
+  /// i.e. one kind byte, four u64 decimal fields (<= 20 digits each), two
+  /// worker names (<= kMaxWorkerNameBytes each), seven separating spaces,
+  /// the 16-hex-digit FNV-1a seal with its space, and the terminating
+  /// newline. The atomic-append mode's whole correctness story rests on
+  /// this staying under PIPE_BUF (static_assert in the .cpp), so a single
+  /// O_APPEND write(2) can never be torn by the kernel.
+  static constexpr std::size_t kMaxRecordBytes =
+      1 + 4 * (1 + 20) + 2 * (1 + kMaxWorkerNameBytes) + (1 + 16) + 1;
 
  private:
   struct Replay;  // shared record-application logic (live + inspect)
 
-  void append_record(const std::string& body);
-  void refresh_locked();
-  void consume_bytes(std::string_view bytes);
-  std::uint64_t last_seen(const std::string& worker, std::uint64_t nonce) const;
-  bool owner_expired_locked(const TupleState& st, std::uint64_t now) const;
+  void append_record(const std::string& body) REQUIRES(mutex_);
+  void refresh_locked() REQUIRES(mutex_);
+  void consume_bytes(std::string_view bytes) REQUIRES(mutex_);
+  std::uint64_t last_seen(const std::string& worker, std::uint64_t nonce) const
+      REQUIRES(mutex_);
+  bool owner_expired_locked(const TupleState& st, std::uint64_t now) const
+      REQUIRES(mutex_);
   static std::string sealed_line(const std::string& body);
 
   Options options_;
-  std::mutex mutex_;
-  std::unique_ptr<fileops::AppendFile> appender_;  ///< kAtomicAppend only
-  std::size_t read_offset_ = 0;                    ///< kAtomicAppend only
-  std::string carry_;  ///< trailing bytes not yet terminated by '\n'
-  std::vector<TupleState> tuples_;
-  std::unordered_map<std::string, std::uint64_t> last_seen_;  ///< worker#nonce -> ts
-  std::size_t invalid_lines_ = 0;
+  mutable common::Mutex mutex_;
+  std::unique_ptr<fileops::AppendFile> appender_
+      GUARDED_BY(mutex_);                          ///< kAtomicAppend only
+  std::size_t read_offset_ GUARDED_BY(mutex_) = 0; ///< kAtomicAppend only
+  /// Trailing bytes not yet terminated by '\n'.
+  std::string carry_ GUARDED_BY(mutex_);
+  std::vector<TupleState> tuples_ GUARDED_BY(mutex_);
+  /// worker#nonce -> newest timestamp.
+  std::unordered_map<std::string, std::uint64_t> last_seen_ GUARDED_BY(mutex_);
+  std::size_t invalid_lines_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace hpac::harness

@@ -3,10 +3,12 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <optional>
 #include <utility>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/fileops.hpp"
 #include "harness/campaign.hpp"
 
 namespace hpac::harness {
@@ -75,6 +77,14 @@ std::string ResultStore::key_of(const RunRecord& record) {
 ResultStore::ResultStore(std::string path, bool read_only)
     : path_(std::move(path)), read_only_(read_only) {
   auto state = std::make_shared<Snapshot::State>();
+  // Serialize against writers in OTHER processes sharing this journal:
+  // append_if_absent holds the same flock around each row. Without it, a
+  // peer's complete rows landing between the durable-prefix read and the
+  // truncate below would be destroyed as a "torn tail". Read-only opens
+  // never truncate, so they take no lock (and must work on read-only
+  // filesystems where the lock file cannot be created).
+  std::optional<fileops::FileLock> open_lock;
+  if (persistent() && !read_only_) open_lock.emplace(path_ + ".lock");
   // The durable prefix decides everything: a file whose final newline is
   // its last durable byte resumes normally; a file with NO newline (a
   // writer killed mid-header-write) has nothing durable at all and must
@@ -136,7 +146,7 @@ std::uint64_t ResultStore::append(const RunRecord& record) {
 }
 
 std::uint64_t ResultStore::append_if_absent(const RunRecord& record) {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  common::MutexLock lock(writer_mutex_);
   HPAC_REQUIRE(!read_only_, "result store is read-only: " + path_);
   HPAC_REQUIRE(!finalized_, "result store was finalized; no further appends");
   const std::shared_ptr<const Snapshot::State> current = snapshot().state_;
@@ -145,6 +155,10 @@ std::uint64_t ResultStore::append_if_absent(const RunRecord& record) {
   // Journal first, publish second: a version is only ever visible once its
   // row is flushed, so a snapshot can never lead the durable journal.
   if (persistent()) {
+    // The flock pairs with the constructor's open-time truncation window
+    // in peer processes; O_APPEND then lands the flushed row at the
+    // (possibly just-truncated) real end of file.
+    fileops::FileLock append_lock(path_ + ".lock");
     write_csv_row(journal_, record.to_row());
     journal_.flush();
   }
@@ -158,7 +172,7 @@ std::uint64_t ResultStore::append_if_absent(const RunRecord& record) {
 }
 
 void ResultStore::finalize(const ResultDb& canonical) {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  common::MutexLock lock(writer_mutex_);
   HPAC_REQUIRE(!read_only_, "result store is read-only: " + path_);
   HPAC_REQUIRE(!finalized_, "result store was already finalized");
   finalized_ = true;

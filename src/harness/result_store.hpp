@@ -3,9 +3,9 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/annotated_mutex.hpp"
 #include "common/persistent.hpp"
 #include "harness/record.hpp"
 
@@ -115,7 +115,7 @@ class ResultStore {
   /// The current version: one pointer copy under the head mutex, never
   /// the writer lock.
   Snapshot snapshot() const {
-    std::lock_guard<std::mutex> lock(head_mutex_);
+    common::MutexLock lock(head_mutex_);
     return Snapshot(state_);
   }
 
@@ -152,24 +152,26 @@ class ResultStore {
 
  private:
   void publish(std::shared_ptr<const Snapshot::State> next) {
-    std::lock_guard<std::mutex> lock(head_mutex_);
+    common::MutexLock lock(head_mutex_);
     state_ = std::move(next);
   }
 
   std::string path_;
   bool read_only_ = false;
   LoadStats load_stats_;
-  std::mutex writer_mutex_;        ///< serializes append/finalize
-  std::ofstream journal_;          ///< open while persistent() && !finalized_
-  bool finalized_ = false;
+  common::Mutex writer_mutex_;  ///< serializes append/finalize
+  /// Journal stream, open while persistent() && !finalized_. Written by
+  /// the constructor (single-threaded) and then only under writer_mutex_.
+  std::ofstream journal_ GUARDED_BY(writer_mutex_);
+  bool finalized_ GUARDED_BY(writer_mutex_) = false;
   /// Guards only the `state_` pointer itself: both sides hold it for a
   /// single shared_ptr copy/swap. (std::atomic<shared_ptr> would express
   /// this directly, but libstdc++'s spinlock implementation unlocks the
   /// reader side with a relaxed RMW, which ThreadSanitizer — gating in CI
   /// — rightly refuses to treat as synchronizing with the writer.)
-  mutable std::mutex head_mutex_;
+  mutable common::Mutex head_mutex_;
   /// Published head: written by publish(), copied by snapshot().
-  std::shared_ptr<const Snapshot::State> state_;
+  std::shared_ptr<const Snapshot::State> state_ GUARDED_BY(head_mutex_);
 };
 
 }  // namespace hpac::harness

@@ -32,7 +32,7 @@ TuningService::TuningService(ResultStore& store, TuningServiceConfig config)
 TuningService::~TuningService() = default;
 
 TuningService::Stats TuningService::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -105,7 +105,7 @@ TuningAnswer TuningService::query(const TuningQuery& query, const std::string& c
     pending.key = Campaign::tuple_key(pending.query.benchmark, pending.query.device,
                                       pending.query.spec_text, query.items_per_thread);
   } catch (const Error& e) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     ++stats_.queries;
     answer.error = e.what();
     return answer;  // status defaults to kError
@@ -119,7 +119,7 @@ TuningAnswer TuningService::query(const TuningQuery& query, const std::string& c
       answer.record = *hit;  // copy out before the snapshot dies
       answer.status = TuningStatus::kOk;
       answer.memoized = true;
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       ++stats_.queries;
       ++stats_.memoized;
       return answer;
@@ -130,7 +130,7 @@ TuningAnswer TuningService::query(const TuningQuery& query, const std::string& c
       query.deadline_ms > 0 ? Clock::now() + std::chrono::milliseconds(query.deadline_ms)
                             : Clock::time_point::max();
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::UniqueMutexLock lock(mutex_);
   ++stats_.queries;
 
   // --- unified admission/evaluation loop. One loop instead of an admit
@@ -210,7 +210,7 @@ TuningAnswer TuningService::query(const TuningQuery& query, const std::string& c
       // evaluator becomes the evaluator, draining the whole queue in fair
       // order. One evaluator at a time keeps the engine cache lock-free.
       evaluator_running_ = true;
-      run_evaluator(lock, deadline);  // absorbs evaluation failures
+      run_evaluator(deadline);  // absorbs evaluation failures
       evaluator_running_ = false;
       progress_.notify_all();
       continue;
@@ -223,14 +223,17 @@ TuningAnswer TuningService::query(const TuningQuery& query, const std::string& c
   }
 }
 
-void TuningService::run_evaluator(std::unique_lock<std::mutex>& lock,
-                                  Clock::time_point deadline) {
+void TuningService::run_evaluator(Clock::time_point deadline) {
   while (pending_total_ > 0) {
     // Stop before starting an evaluation we have no time for; the queue
     // survives for the next thread that picks up the evaluator role.
     if (Clock::now() >= deadline) return;
     Pending next = take_next_fair();
-    lock.unlock();
+    // Drop the caller's lock around the evaluation (on the mutex itself,
+    // not the caller's scoped guard — the guard is restored to "locked"
+    // before returning, so its view of ownership never diverges). Nothing
+    // in the unlocked region can throw: evaluate() is fully absorbed.
+    mutex_.unlock();
     RunRecord record;
     bool ok = false;
     std::string failure;
@@ -242,7 +245,7 @@ void TuningService::run_evaluator(std::unique_lock<std::mutex>& lock,
     } catch (...) {
       failure = "evaluation failed with a non-standard exception";
     }
-    lock.lock();
+    mutex_.lock();
     if (ok) {
       // A concurrent campaign on the same store may have produced the
       // tuple while we evaluated; first writer wins, the store stays

@@ -1,18 +1,17 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/annotated_mutex.hpp"
 #include "harness/record.hpp"
 #include "harness/result_store.hpp"
 #include "pragma/spec.hpp"
@@ -165,15 +164,17 @@ class TuningService {
 
   using Clock = std::chrono::steady_clock;
 
-  /// Drain the admission queue; called with `lock` held, returns with it
-  /// held, releases it around each evaluation. Stops early (leaving work
+  /// Drain the admission queue; called with mutex_ held, returns with it
+  /// held, releases it around each evaluation (directly on the annotated
+  /// mutex — the caller's scoped lock object is not touched, so the
+  /// analysis tracks the drop/retake precisely). Stops early (leaving work
   /// queued for the next evaluator) once `deadline` passes. A throwing
   /// evaluation is absorbed into failures_, never thrown.
-  void run_evaluator(std::unique_lock<std::mutex>& lock, Clock::time_point deadline);
+  void run_evaluator(Clock::time_point deadline) REQUIRES(mutex_);
 
   /// Pick the next tuple fairly (round-robin over clients with queued
   /// work). Requires the lock; pops the tuple from its client queue.
-  Pending take_next_fair();
+  Pending take_next_fair() REQUIRES(mutex_);
 
   RunRecord evaluate(const Pending& pending);
 
@@ -188,24 +189,30 @@ class TuningService {
   /// kDegraded with the nearest known config when one exists, else
   /// `fallback` with `reason`. Requires the lock (bumps stats).
   TuningAnswer degrade_or(TuningStatus fallback, const Pending& pending,
-                          const std::string& reason);
+                          const std::string& reason) REQUIRES(mutex_);
 
   ResultStore& store_;
   TuningServiceConfig config_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable progress_;
+  mutable common::Mutex mutex_;
+  common::CondVar progress_;
   /// Per-client FIFO of admitted tuples plus the rotation order; a client
   /// leaves the rotation when its queue drains.
-  std::map<std::string, std::deque<Pending>> queues_;
-  std::vector<std::string> rotation_;
-  std::size_t rotation_next_ = 0;
-  std::unordered_set<std::string> inflight_;  ///< admitted or evaluating keys
-  std::size_t pending_total_ = 0;
-  bool evaluator_running_ = false;
-  std::unordered_map<std::string, FailureState> failures_;  ///< key -> history
-  Stats stats_;
+  std::map<std::string, std::deque<Pending>> queues_ GUARDED_BY(mutex_);
+  std::vector<std::string> rotation_ GUARDED_BY(mutex_);
+  std::size_t rotation_next_ GUARDED_BY(mutex_) = 0;
+  /// Admitted or evaluating keys.
+  std::unordered_set<std::string> inflight_ GUARDED_BY(mutex_);
+  std::size_t pending_total_ GUARDED_BY(mutex_) = 0;
+  bool evaluator_running_ GUARDED_BY(mutex_) = false;
+  /// key -> failure history.
+  std::unordered_map<std::string, FailureState> failures_ GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
 
+  /// Touched only by the single active evaluator thread, with mutex_
+  /// RELEASED (the evaluator_running_ flag is the exclusion protocol, so
+  /// baseline engines never run under a lock). Deliberately unannotated:
+  /// no capability expresses "guarded by being the evaluator".
   std::map<std::string, std::unique_ptr<Engine>> engines_;
 };
 

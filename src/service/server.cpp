@@ -18,7 +18,7 @@ TuningServer::TuningServer(harness::ResultStore& store, Options options)
 TuningServer::~TuningServer() { stop(); }
 
 void TuningServer::start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   HPAC_REQUIRE(!running_, "tuning server already started");
   listen_fd_ = listen_unix(options_.socket_path, options_.backlog);
   running_ = true;
@@ -28,8 +28,8 @@ void TuningServer::start() {
 }
 
 void TuningServer::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  stop_requested_cv_.wait(lock, [this] { return stop_requested_; });
+  common::UniqueMutexLock lock(mutex_);
+  while (!stop_requested_) stop_requested_cv_.wait(lock);
 }
 
 void TuningServer::stop() { shutdown_connections(SHUT_RDWR); }
@@ -46,7 +46,7 @@ void TuningServer::shutdown_connections(int how) {
   std::vector<std::thread> to_join;
   std::thread accept_to_join;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stop_requested_ = true;
     stop_requested_cv_.notify_all();
     if (!running_) return;
@@ -68,7 +68,7 @@ void TuningServer::shutdown_connections(int how) {
     if (thread.joinable()) thread.join();
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     for (int& fd : connection_fds_) {
       if (fd >= 0) {
         ::close(fd);
@@ -86,7 +86,7 @@ void TuningServer::accept_loop(int listen_fd) {
       if (errno == EINTR) continue;
       return;  // listen socket closed by stop()
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (!running_) {
       ::close(fd);
       return;
@@ -129,7 +129,7 @@ void TuningServer::serve_connection(int fd, std::uint64_t connection_id) {
           // the owner of the server performs the actual stop() — a
           // connection thread cannot join itself.
           write_frame(fd, MessageType::kShutdownReply, "");
-          std::lock_guard<std::mutex> lock(mutex_);
+          common::MutexLock lock(mutex_);
           stop_requested_ = true;
           stop_requested_cv_.notify_all();
           break;
@@ -144,7 +144,7 @@ void TuningServer::serve_connection(int fd, std::uint64_t connection_id) {
     // consistent — at worst the client never sees the answer to a query
     // whose record is already journaled (a retry finds it memoized).
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   ::close(fd);
   if (connection_id < connection_fds_.size()) connection_fds_[connection_id] = -1;
 }

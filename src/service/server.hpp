@@ -1,12 +1,11 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_mutex.hpp"
 #include "harness/tuning_service.hpp"
 
 namespace hpac::service {
@@ -75,17 +74,18 @@ class TuningServer {
   Options options_;
   harness::TuningService service_;
 
-  std::mutex mutex_;
-  std::condition_variable stop_requested_cv_;
-  bool stop_requested_ = false;  ///< shutdown frame seen or stop() entered
-  bool running_ = false;
-  int listen_fd_ = -1;
-  std::uint64_t next_connection_ = 0;
+  common::Mutex mutex_;
+  common::CondVar stop_requested_cv_;
+  /// Shutdown frame seen or stop() entered.
+  bool stop_requested_ GUARDED_BY(mutex_) = false;
+  bool running_ GUARDED_BY(mutex_) = false;
+  int listen_fd_ GUARDED_BY(mutex_) = -1;
+  std::uint64_t next_connection_ GUARDED_BY(mutex_) = 0;
   /// Live connection fds, indexed by connection id; -1 once closed. stop()
   /// shuts these down to unblock their reader threads before joining.
-  std::vector<int> connection_fds_;
-  std::vector<std::thread> connection_threads_;
-  std::thread accept_thread_;
+  std::vector<int> connection_fds_ GUARDED_BY(mutex_);
+  std::vector<std::thread> connection_threads_ GUARDED_BY(mutex_);
+  std::thread accept_thread_ GUARDED_BY(mutex_);
 };
 
 }  // namespace hpac::service

@@ -1,0 +1,60 @@
+// Replays the checked-in fuzzer seed corpora (fuzz/corpus/*) through the
+// fuzz target bodies in a regular build — no libFuzzer required — so an
+// input that once broke a parser keeps failing loudly in every
+// configuration, and the corpora cannot silently rot as the wire/journal
+// formats evolve. The targets abort() on a violated round-trip invariant,
+// which a gtest death is loud about.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "targets.hpp"
+
+namespace {
+
+using FuzzTarget = int (*)(const std::uint8_t*, std::size_t);
+
+std::vector<std::filesystem::path> corpus_files(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(HPAC_FUZZ_CORPUS_DIR) / name;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void replay_all(const std::string& name, FuzzTarget target) {
+  const std::vector<std::filesystem::path> files = corpus_files(name);
+  ASSERT_FALSE(files.empty()) << "no seed corpus at fuzz/corpus/" << name;
+  for (const std::filesystem::path& path : files) {
+    SCOPED_TRACE(path.string());
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    EXPECT_EQ(0, target(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                        bytes.size()));
+  }
+}
+
+TEST(FuzzCorpus, ProtocolSeedsStayGreen) {
+  replay_all("fuzz_protocol", hpac::fuzz::run_protocol);
+}
+
+TEST(FuzzCorpus, CsvSeedsStayGreen) { replay_all("fuzz_csv", hpac::fuzz::run_csv); }
+
+TEST(FuzzCorpus, LeaseJournalSeedsStayGreen) {
+  replay_all("fuzz_lease_journal", hpac::fuzz::run_lease_journal);
+}
+
+TEST(FuzzCorpus, SpecSeedsStayGreen) { replay_all("fuzz_spec", hpac::fuzz::run_spec); }
+
+}  // namespace

@@ -1,0 +1,12 @@
+// Seeded violation: independent_items without commit_extents.
+// This file is a lint fixture — it is never compiled.
+
+struct Binding {
+  bool independent_items = false;
+};
+
+void make_binding() {
+  Binding binding;
+  binding.independent_items = true;  // no commit_extents anywhere below
+  (void)binding;
+}

@@ -1,0 +1,12 @@
+// Seeded violations: banned non-reproducible / locale-dependent calls.
+// This file is a lint fixture — it is never compiled.
+
+#include <cstdlib>
+#include <ctime>
+
+int seeded_violations() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  const int noise = std::rand();
+  const int parsed = std::atoi("42");
+  return noise + parsed;
+}

@@ -1,0 +1,9 @@
+// Seeded violation: raw std::thread outside the allowlist.
+// This file is a lint fixture — it is never compiled.
+
+#include <thread>
+
+void spawn_unmanaged() {
+  std::thread worker([] {});
+  worker.join();
+}

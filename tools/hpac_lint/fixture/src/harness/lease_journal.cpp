@@ -1,0 +1,13 @@
+// Seeded violation: a lease_journal.cpp with neither the compile-time
+// record-size bound against the pipe atomicity limit nor the append-path
+// runtime bound. This file is a lint fixture — it is never compiled.
+
+#include <string>
+
+struct LeaseJournalFixture {
+  void append_record(const std::string& body);
+};
+
+void LeaseJournalFixture::append_record(const std::string& body) {
+  (void)body;  // writes without any record-size bound
+}
