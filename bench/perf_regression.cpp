@@ -26,8 +26,11 @@
 #include <string>
 #include <vector>
 
+#include "approx/iact.hpp"
 #include "bench_common.hpp"
+#include "common/rng.hpp"
 #include "common/scheduler.hpp"
+#include "common/simd.hpp"
 #include "harness/explorer.hpp"
 #include "harness/params.hpp"
 #include "offload/device.hpp"
@@ -211,6 +214,72 @@ SweepResult run_nested(const approx::ExecTuning& inner) {
   return result;
 }
 
+/// The iACT table-scan scenario: raw `find_nearest` throughput at the
+/// scalar dispatch level vs the widest one the host offers. The scan is
+/// the per-invocation cost iACT pays on *every* region execution (paper
+/// insight 4) and the target of the SIMD fast-path program; the curated
+/// iACT sweeps use table_size 64-ish and small in_dims, so that is the
+/// shape timed here. Results must be bit-identical across levels — the
+/// bench fails loudly if not, same as the engine paths.
+struct ScanBench {
+  double off_seconds = 0;
+  double best_seconds = 0;
+  double speedup = 0;
+  const char* best_level = "off";
+  bool identical = true;
+};
+
+ScanBench bench_iact_scan() {
+  constexpr int kTableSize = 64;
+  constexpr int kInDims = 4;
+  constexpr int kProbes = 1 << 19;
+  const simd::Level previous = simd::active_level();
+
+  // Pre-generate probes so RNG cost is outside the timed loop.
+  Xoshiro256 rng(2023);
+  std::vector<double> probes(static_cast<std::size_t>(kProbes) * kInDims);
+  for (double& v : probes) v = rng.uniform(-4.0, 4.0);
+
+  const auto run_at = [&](simd::Level level, std::vector<int>* indices) {
+    simd::set_level(level);
+    std::vector<double> storage(
+        approx::IactTable::storage_doubles(kTableSize, kInDims, 1), 0.0);
+    approx::IactTable table(kTableSize, kInDims, 1, approx::Replacement::kRoundRobin, storage);
+    Xoshiro256 fill_rng(7);
+    std::vector<double> in(kInDims), out{0.0};
+    for (int f = 0; f < kTableSize; ++f) {
+      for (double& v : in) v = fill_rng.uniform(-4.0, 4.0);
+      table.insert(in, out);
+    }
+    indices->clear();
+    indices->reserve(kProbes);
+    const auto start = std::chrono::steady_clock::now();
+    for (int p = 0; p < kProbes; ++p) {
+      const std::span<const double> probe(probes.data() + static_cast<std::size_t>(p) * kInDims,
+                                          kInDims);
+      indices->push_back(table.find_nearest(probe).index);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+  };
+
+  ScanBench result;
+  std::vector<int> off_indices, best_indices;
+  result.off_seconds = run_at(simd::Level::kOff, &off_indices);
+  const simd::Level best = simd::max_runtime_level();
+  result.best_level = simd::level_name(best);
+  if (best == simd::Level::kOff) {
+    result.best_seconds = result.off_seconds;
+    result.speedup = 1.0;
+  } else {
+    result.best_seconds = run_at(best, &best_indices);
+    result.speedup = result.off_seconds / result.best_seconds;
+    result.identical = off_indices == best_indices;
+  }
+  simd::set_level(previous);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -234,10 +303,13 @@ int main(int argc, char** argv) {
   const SweepResult nested_serialized = run_nested(serial);
   const SweepResult nested_cooperative = run_nested(sharded);
 
+  const ScanBench scan = bench_iact_scan();
+
   const bool identical = scalar.csv_text == batched.csv_text &&
                          batched.csv_text == parallel.csv_text &&
                          parallel.csv_text == nested_serialized.csv_text &&
-                         nested_serialized.csv_text == nested_cooperative.csv_text;
+                         nested_serialized.csv_text == nested_cooperative.csv_text &&
+                         scan.identical;
   std::printf("scalar              %.3f s  (%.3g inv/s)\n", scalar.wall_seconds,
               scalar.invocations / scalar.wall_seconds);
   std::printf("batched             %.3f s  (%.3g inv/s)\n", batched.wall_seconds,
@@ -248,6 +320,10 @@ int main(int argc, char** argv) {
               nested_serialized.invocations / nested_serialized.wall_seconds);
   std::printf("nested cooperative  %.3f s  (%.3g inv/s)\n", nested_cooperative.wall_seconds,
               nested_cooperative.invocations / nested_cooperative.wall_seconds);
+  std::printf("iact scan off       %.3f s\n", scan.off_seconds);
+  std::printf("iact scan %-8s  %.3f s  (%.2fx, results %s)\n", scan.best_level,
+              scan.best_seconds, scan.speedup,
+              scan.identical ? "bit-identical" : "DIVERGED — SIMD BUG");
   std::printf("paths byte-identical: %s\n", identical ? "yes" : "NO — ENGINE BUG");
 
   std::error_code ec;
@@ -263,6 +339,8 @@ int main(int argc, char** argv) {
                  "  \"sharded\": {\"wall_seconds\": %.6f, \"items_per_sec\": %.6g},\n"
                  "  \"nested_serialized\": {\"wall_seconds\": %.6f, \"items_per_sec\": %.6g},\n"
                  "  \"nested_cooperative\": {\"wall_seconds\": %.6f, \"items_per_sec\": %.6g},\n"
+                 "  \"iact_find_nearest\": {\"off_seconds\": %.6f, \"best_seconds\": %.6f, "
+                 "\"speedup\": %.4f, \"best_level\": \"%s\"},\n"
                  "  \"paths_byte_identical\": %s\n"
                  "}\n",
                  static_cast<unsigned long long>(EngineMicro::kItems), scalar.wall_seconds,
@@ -273,6 +351,7 @@ int main(int argc, char** argv) {
                  nested_serialized.invocations / nested_serialized.wall_seconds,
                  nested_cooperative.wall_seconds,
                  nested_cooperative.invocations / nested_cooperative.wall_seconds,
+                 scan.off_seconds, scan.best_seconds, scan.speedup, scan.best_level,
                  identical ? "true" : "false");
     std::fclose(f);
     std::printf("[wrote %s]\n", path.c_str());

@@ -4,11 +4,25 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace hpac::approx {
 
 namespace detail {
 void throw_probe_mismatch() { throw Error("probe dimensionality mismatch"); }
+
+ScanFn select_iact_scan(int in_dims, simd::Level level) {
+  // Widest-first with fall-through: a level whose TU was not compiled
+  // (or a non-x86 host) degrades to the next narrower ISA, and kOff
+  // always dispatches the scalar reference scan.
+  if (level >= simd::Level::kAvx2) {
+    if (ScanFn fn = iact_scan_fn_avx2(in_dims)) return fn;
+  }
+  if (level >= simd::Level::kSse2) {
+    if (ScanFn fn = iact_scan_fn_sse2(in_dims)) return fn;
+  }
+  return nullptr;
+}
 }  // namespace detail
 
 double euclidean_distance(std::span<const double> a, std::span<const double> b) {
@@ -35,6 +49,10 @@ IactTable::IactTable(int table_size, int in_dims, int out_dims, Replacement poli
   HPAC_REQUIRE(out_dims >= 1, "iACT requires at least one output dimension");
   HPAC_REQUIRE(storage.size() >= storage_doubles(table_size, in_dims, out_dims),
                "iACT storage span too small");
+  scan_fn_ = detail::select_iact_scan(in_dims_, simd::active_level());
+  if (scan_fn_ != nullptr) {
+    soa_.assign(static_cast<std::size_t>(table_size) * static_cast<std::size_t>(in_dims), 0.0);
+  }
 }
 
 std::size_t IactTable::storage_doubles(int table_size, int in_dims, int out_dims) {
@@ -63,10 +81,11 @@ void IactTable::mark_used(int index) {
 
 int IactTable::victim_index() {
   if (valid_count_ < table_size_) {
-    // Fill empty slots first under either policy.
-    for (int i = 0; i < table_size_; ++i) {
-      if (!valid_[static_cast<std::size_t>(i)]) return i;
-    }
+    // Fill empty slots first under either policy. Valid entries always
+    // occupy the slot prefix [0, valid_count_) — the same invariant the
+    // scan's no-validity-check fast path rests on — so the first empty
+    // slot IS valid_count_; no rescan from 0 per insert (was O(n²) fill).
+    return valid_count_;
   }
   if (policy_ == Replacement::kRoundRobin) {
     const int victim = cursor_;
@@ -90,6 +109,12 @@ void IactTable::insert(std::span<const double> in, std::span<const double> out) 
   const std::size_t row = static_cast<std::size_t>(slot) *
                           (static_cast<std::size_t>(in_dims_) + out_dims_);
   for (int d = 0; d < in_dims_; ++d) storage_[row + static_cast<std::size_t>(d)] = in[d];
+  if (!soa_.empty()) {
+    for (int d = 0; d < in_dims_; ++d) {
+      soa_[static_cast<std::size_t>(d) * static_cast<std::size_t>(table_size_) +
+           static_cast<std::size_t>(slot)] = in[d];
+    }
+  }
   for (int d = 0; d < out_dims_; ++d) {
     storage_[row + static_cast<std::size_t>(in_dims_) + static_cast<std::size_t>(d)] = out[d];
   }

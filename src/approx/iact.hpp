@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "approx/iact_scan.hpp"
+
 namespace hpac::approx {
 
 /// Cache replacement policy for iACT tables. The paper uses round-robin
@@ -79,6 +81,16 @@ class IactTable {
   int out_dims_;
   Replacement policy_;
   std::span<double> storage_;  ///< table_size rows of (in_dims + out_dims)
+  /// Dimension-major mirror of the entries' input vectors
+  /// (`soa_[d * table_size_ + slot]`), maintained by `insert`. The SIMD
+  /// scan kernels read it so "dimension d of W consecutive rows" is one
+  /// contiguous vector load; the row-major `storage_` span stays the
+  /// source of truth (and the shared-memory footprint) — this is a
+  /// host-side acceleration structure, not modeled device state.
+  std::vector<double> soa_;
+  /// Vector scan kernel chosen at construction from `simd::active_level()`
+  /// and `in_dims`; nullptr dispatches the inline scalar scan.
+  detail::ScanFn scan_fn_ = nullptr;
   std::vector<bool> valid_;
   std::vector<bool> referenced_;  ///< CLOCK reference bits
   int cursor_ = 0;                ///< round-robin insert / CLOCK hand
@@ -98,6 +110,23 @@ namespace detail {
 inline IactTable::Match IactTable::find_nearest(std::span<const double> in) const {
   if (in.size() != static_cast<std::size_t>(in_dims_)) {
     detail::throw_probe_mismatch();
+  }
+  // Vector fast path: lanes are table rows over the dimension-major
+  // mirror, each lane accumulating its squared distance in the exact
+  // scalar operation order, so index and distance are bit-identical to
+  // the scalar scan below (enforced by the `simd` property tests).
+  if (scan_fn_ != nullptr) {
+    detail::ScanArgs args;
+    args.soa = soa_.data();
+    args.probe = in.data();
+    args.capacity = table_size_;
+    args.valid_count = valid_count_;
+    args.in_dims = in_dims_;
+    const detail::ScanResult result = scan_fn_(args);
+    Match best;
+    best.index = result.index;
+    best.distance = result.distance;
+    return best;
   }
   // The scan runs for every region invocation, so it is the single
   // hottest loop of iACT execution: compare squared distances and take a

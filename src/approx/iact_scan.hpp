@@ -1,0 +1,44 @@
+#pragma once
+
+#include <limits>
+
+#include "common/simd.hpp"
+
+namespace hpac::approx::detail {
+
+/// Inputs of one vectorized nearest-entry scan over an iACT table.
+///
+/// The kernels read the table through its dimension-major mirror
+/// (`soa[d * capacity + row]`, maintained by `IactTable::insert`), which
+/// turns "the same dimension of W consecutive rows" into one contiguous
+/// vector load. Lanes map to rows; each lane accumulates its squared
+/// distance in ascending-dimension order — exactly the scalar scan's
+/// operation sequence — so the winning index *and* every distance bit
+/// match the scalar reference by construction (see the `simd` tests).
+struct ScanArgs {
+  const double* soa = nullptr;
+  const double* probe = nullptr;
+  int capacity = 0;
+  int valid_count = 0;
+  int in_dims = 0;
+};
+
+struct ScanResult {
+  int index = -1;
+  double distance = std::numeric_limits<double>::infinity();
+};
+
+using ScanFn = ScanResult (*)(const ScanArgs&);
+
+/// Per-ISA kernel lookup: a specialized kernel for small `in_dims`
+/// (compile-time unrolled dimension loop), a generic kernel otherwise.
+/// Returns nullptr when that ISA is not compiled into this binary.
+ScanFn iact_scan_fn_sse2(int in_dims);
+ScanFn iact_scan_fn_avx2(int in_dims);
+
+/// The kernel (or nullptr → use the scalar path) for an `in_dims`-wide
+/// table under dispatch `level`, falling back to narrower ISAs when the
+/// requested one is unavailable.
+ScanFn select_iact_scan(int in_dims, simd::Level level);
+
+}  // namespace hpac::approx::detail

@@ -1,0 +1,44 @@
+// SSE2 iACT table-scan kernels (128-bit lanes, two rows per step). SSE2
+// is part of the x86-64 baseline, so this TU needs no special flags; on
+// non-x86 hosts it compiles to a stub and dispatch stays scalar.
+
+#include "approx/iact_scan.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include "approx/iact_scan_impl.hpp"
+
+namespace hpac::approx::detail {
+
+namespace {
+
+struct Sse2Ops {
+  static constexpr int kWidth = 2;
+  using V = __m128d;
+  static V zero() { return _mm_setzero_pd(); }
+  static V broadcast(double x) { return _mm_set1_pd(x); }
+  static V loadu(const double* p) { return _mm_loadu_pd(p); }
+  static V sub(V a, V b) { return _mm_sub_pd(a, b); }
+  static V mul(V a, V b) { return _mm_mul_pd(a, b); }
+  static V add(V a, V b) { return _mm_add_pd(a, b); }
+  static bool all_gt(V a, V b) { return _mm_movemask_pd(_mm_cmpgt_pd(a, b)) == 0x3; }
+  static void store(double* p, V a) { _mm_storeu_pd(p, a); }
+};
+
+}  // namespace
+
+ScanFn iact_scan_fn_sse2(int in_dims) { return select_scan_impl<Sse2Ops>(in_dims); }
+
+}  // namespace hpac::approx::detail
+
+#else
+
+namespace hpac::approx::detail {
+
+ScanFn iact_scan_fn_sse2(int) { return nullptr; }
+
+}  // namespace hpac::approx::detail
+
+#endif

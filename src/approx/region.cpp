@@ -968,6 +968,7 @@ RegionReport RegionExecutor::run_impl(const pragma::ApproxSpec& spec,
       report.stats.conflicts = std::move(conflicts);
     }
   }
+  report.stats.simd_level = simd::active_level();
   return report;
 }
 

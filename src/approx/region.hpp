@@ -8,6 +8,7 @@
 
 #include "approx/audit.hpp"
 #include "approx/iact.hpp"
+#include "common/simd.hpp"
 #include "pragma/spec.hpp"
 #include "sim/device.hpp"
 #include "sim/launch.hpp"
@@ -160,6 +161,11 @@ struct ExecStats {
   /// the fan-out decision observable, e.g. to assert that a launch nested
   /// inside a sweep worker is no longer forced serial.
   std::size_t host_shards = 1;
+  /// SIMD dispatch level active while this launch ran (see
+  /// `hpac::simd::active_level`). Diagnostic like `host_shards`: results
+  /// are bit-identical at every level; exposing it makes the dispatch
+  /// decision observable to tests and the bench harness.
+  simd::Level simd_level = simd::Level::kOff;
   /// Commit-conflict audit findings (`ExecTuning::audit_mode == kReport`;
   /// `kEnforce` throws instead of collecting). Empty when auditing is off
   /// or the launch audited clean.

@@ -21,6 +21,7 @@ TafState::TafState(const pragma::TafParams& params, int out_dims, std::span<doub
   HPAC_REQUIRE(storage.size() >= needed, "TAF storage span too small");
   window_ = storage.subspan(0, static_cast<std::size_t>(params.history_size) * out_dims);
   last_ = storage.subspan(window_.size(), static_cast<std::size_t>(out_dims));
+  running_.assign(3u * static_cast<std::size_t>(out_dims), 0.0);
 }
 
 std::size_t TafState::storage_doubles(int history_size, int out_dims) {
@@ -33,27 +34,28 @@ std::size_t TafState::footprint_bytes(int history_size, int out_dims) {
 
 double TafState::window_rsd() const {
   if (filled_ < params_.history_size) return std::numeric_limits<double>::infinity();
+  // O(out_dims) from the running sums `record_accurate` maintains:
+  // sigma² = E[x²] − μ². The subtraction can cancel catastrophically for
+  // near-constant windows of large values — there it is clamped at zero,
+  // which is also the activation decision a near-zero RSD would reach.
+  const double n = static_cast<double>(filled_);
+  const double* sums = running_.data();
+  const double* abs_sums = sums + out_dims_;
+  const double* sq_sums = abs_sums + out_dims_;
   double max_rsd = 0.0;
   for (int d = 0; d < out_dims_; ++d) {
-    double sum = 0.0;
-    double abs_sum = 0.0;
-    for (int j = 0; j < filled_; ++j) {
-      const double v = window_[static_cast<std::size_t>(j) * out_dims_ + d];
-      sum += v;
-      abs_sum += std::abs(v);
-    }
-    const double mu = sum / filled_;
-    double sq = 0.0;
-    for (int j = 0; j < filled_; ++j) {
-      const double v = window_[static_cast<std::size_t>(j) * out_dims_ + d];
-      sq += (v - mu) * (v - mu);
-    }
-    const double sigma = std::sqrt(sq / filled_);
+    const double mu = sums[d] / n;
+    double variance = sq_sums[d] / n - mu * mu;
+    if (variance < 0.0) variance = 0.0;
+    const double sigma = std::sqrt(variance);
     // Sign-robust RSD: sigma over the mean *magnitude*. Identical to the
     // paper's sigma/|mu| whenever the window values share a sign (all the
     // scalar, positive-output regions), but stays finite for mean-zero
-    // multi-output windows such as force components.
-    const double denom = abs_sum / filled_;
+    // multi-output windows such as force components. The |value| sum is
+    // non-negative up to ring-wraparound rounding drift; clamp so drift
+    // can never produce a negative denominator (and thus a negative RSD
+    // masquerading as ultra-stable).
+    const double denom = (abs_sums[d] > 0.0 ? abs_sums[d] : 0.0) / n;
     double rsd;
     if (denom == 0.0) {
       rsd = sigma == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();

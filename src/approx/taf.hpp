@@ -1,9 +1,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "pragma/spec.hpp"
 
@@ -50,6 +52,7 @@ class TafState {
     cursor_ = 0;
     credits_ = 0;
     has_last_ = false;
+    std::fill(running_.begin(), running_.end(), 0.0);
   }
 
   /// Activation function: true while the thread holds prediction credits.
@@ -77,6 +80,16 @@ class TafState {
   int window_fill() const { return filled_; }
   /// Max-RSD of the current window; +inf until the window is full.
   /// Exposed for tests and for the harness's diagnostics.
+  ///
+  /// O(out_dims): computed from the running sum / |value| sum / squared
+  /// sum that `record_accurate` maintains incrementally, instead of the
+  /// historical O(history_size * out_dims) two-pass recompute. This is
+  /// the ONLY formulation — there is no per-build fallback — so TAF
+  /// activation decisions (and therefore sweep CSVs) are identical
+  /// across scalar/SIMD builds and vector widths. The change in
+  /// summation shape shifted the RSD bits once, against re-captured
+  /// goldens (tests/test_taf.cpp, TafGolden.*). Catastrophic
+  /// cancellation in `E[x²] − μ²` is clamped at zero variance.
   double window_rsd() const;
 
  private:
@@ -84,6 +97,13 @@ class TafState {
   int out_dims_;
   std::span<double> window_;  ///< ring buffer, hSize rows x out_dims
   std::span<double> last_;    ///< latest accurate output
+  /// Running per-dimension window statistics, `3 * out_dims` doubles:
+  /// [0, D) value sums, [D, 2D) |value| sums, [2D, 3D) squared sums.
+  /// Host-side bookkeeping for the O(out_dims) `window_rsd`; NOT part of
+  /// the modeled shared-memory footprint (a GPU implementation keeps
+  /// these in registers), so `storage_doubles`/`footprint_bytes` — and
+  /// every feasibility decision — are unchanged.
+  std::vector<double> running_;
   int filled_ = 0;
   int cursor_ = 0;
   int credits_ = 0;
@@ -100,9 +120,28 @@ inline void TafState::record_accurate(std::span<const double> outputs) {
   if (outputs.size() != static_cast<std::size_t>(out_dims_)) {
     detail::throw_taf_dims_mismatch();
   }
+  // Incremental statistics: when the full ring wraps, the value being
+  // overwritten leaves the running sums before the new one enters. The
+  // subtract-then-add sequence is deterministic, so any accumulated
+  // rounding drift is identical on every build — bit-stable CSVs.
+  const bool window_full = filled_ == params_.history_size;
+  double* sums = running_.data();
+  double* abs_sums = sums + out_dims_;
+  double* sq_sums = abs_sums + out_dims_;
   for (int d = 0; d < out_dims_; ++d) {
-    window_[static_cast<std::size_t>(cursor_) * out_dims_ + d] = outputs[d];
-    last_[static_cast<std::size_t>(d)] = outputs[d];
+    const std::size_t slot = static_cast<std::size_t>(cursor_) * out_dims_ + d;
+    const double v = outputs[d];
+    if (window_full) {
+      const double old = window_[slot];
+      sums[d] -= old;
+      abs_sums[d] -= std::abs(old);
+      sq_sums[d] -= old * old;
+    }
+    sums[d] += v;
+    abs_sums[d] += std::abs(v);
+    sq_sums[d] += v * v;
+    window_[slot] = v;
+    last_[static_cast<std::size_t>(d)] = v;
   }
   has_last_ = true;
   cursor_ = (cursor_ + 1) % params_.history_size;
@@ -113,6 +152,7 @@ inline void TafState::record_accurate(std::span<const double> outputs) {
     credits_ = params_.prediction_size;
     filled_ = 0;
     cursor_ = 0;
+    std::fill(running_.begin(), running_.end(), 0.0);
   }
 }
 

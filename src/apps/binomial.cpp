@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "apps/simd_kernels.hpp"
 #include "apps/support.hpp"
 #include "common/rng.hpp"
 
@@ -34,11 +35,20 @@ double BinomialOptions::tree_price(double spot, double strike, double expiry, in
   for (int i = 0; i <= steps; ++i, price *= up2) {
     values[static_cast<std::size_t>(i)] = std::max(price - strike, 0.0);
   }
-  for (int level = steps - 1; level >= 0; --level) {
-    for (int i = 0; i <= level; ++i) {
-      values[static_cast<std::size_t>(i)] =
-          discount * (p_up * values[static_cast<std::size_t>(i) + 1] +
-                      p_down * values[static_cast<std::size_t>(i)]);
+  // Vector fast path: lanes are the tree nodes of one level. The update
+  // is elementwise (both inputs loaded before the store, no reduction),
+  // so the kernel is bit-identical to this loop; resolved per call so
+  // HPAC_SIMD / simd::set_level changes apply, and shared by both
+  // binding forms since they funnel through tree_price.
+  if (const kernels::BinomialInductFn induct = kernels::binomial_induct_fn()) {
+    induct(values.data(), steps, discount, p_up, p_down);
+  } else {
+    for (int level = steps - 1; level >= 0; --level) {
+      for (int i = 0; i <= level; ++i) {
+        values[static_cast<std::size_t>(i)] =
+            discount * (p_up * values[static_cast<std::size_t>(i) + 1] +
+                        p_down * values[static_cast<std::size_t>(i)]);
+      }
     }
   }
   return values[0];

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "apps/simd_kernels.hpp"
 #include "apps/support.hpp"
 #include "common/rng.hpp"
 
@@ -100,6 +101,31 @@ harness::RunOutput Blackscholes::run(const pragma::ApproxSpec& spec,
     };
     bind_gather(binding, gather_one);
     bind_accurate(binding, price_one);
+    // Vector fast path over the warp's active lanes (lanes = option
+    // contracts), resolved per run() so HPAC_SIMD / simd::set_level
+    // changes take effect. The kernel prices each packed contract with
+    // call_price's exact operation sequence, so prices are bit-identical
+    // to the scalar adapter above and sweep CSVs are dispatch-invariant.
+    if (const kernels::BlackscholesBatchFn batch = kernels::blackscholes_batch_fn()) {
+      binding.accurate_batch = [this, batch](std::uint64_t first_item, sim::LaneMask lanes,
+                                             std::span<const double>, std::span<double> out) {
+        double s[64], k[64], r[64], v[64], t[64], p[64];
+        int lane_of[64];
+        int count = 0;
+        sim::for_each_lane(lanes, [&](int lane) {
+          const std::uint64_t i = first_item + static_cast<std::uint64_t>(lane);
+          s[count] = spot_[i];
+          k[count] = strike_[i];
+          r[count] = rate_[i];
+          v[count] = volatility_[i];
+          t[count] = expiry_[i];
+          lane_of[count] = lane;
+          ++count;
+        });
+        batch(s, k, r, v, t, p, count);
+        for (int j = 0; j < count; ++j) out[static_cast<std::size_t>(lane_of[j])] = p[j];
+      };
+    }
     // log, exp, sqrt, the CND polynomial twice: ~60 floating-point
     // operations plus two special functions.
     bind_constant_cost(binding, 180.0);

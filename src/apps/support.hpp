@@ -122,6 +122,7 @@ inline void accumulate_stats(approx::ExecStats& total, const approx::ExecStats& 
     total.shared_bytes_per_block = part.shared_bytes_per_block;
   }
   if (part.host_shards > total.host_shards) total.host_shards = part.host_shards;
+  if (part.simd_level > total.simd_level) total.simd_level = part.simd_level;
   total.conflicts.insert(total.conflicts.end(), part.conflicts.begin(), part.conflicts.end());
 }
 

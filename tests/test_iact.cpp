@@ -11,6 +11,7 @@
 #include "approx/taf.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 
 using namespace hpac;
 using namespace hpac::approx;
@@ -340,5 +341,163 @@ TEST(IactProperty, FindNearestMatchesNaiveAfterResetAndRefill) {
       ASSERT_EQ(fast.index, naive.index);
       ASSERT_EQ(fast.distance, naive.distance);
     }
+  }
+}
+
+// --- O(1) victim selection regression ---------------------------------------
+//
+// `victim_index` once rescanned the valid flags from slot 0 on every
+// insert (O(n²) across a fill). The fix returns `valid_count_` directly
+// off the valid-prefix invariant. These assertions pin the observable
+// contract the rescan provided, so the CSV bytes that depend on slot
+// order cannot move: ascending fill order, then the replacement policy's
+// order once full.
+TEST(Iact, FillOrderUnchangedByConstantTimeVictimSelection) {
+  TableFixture f;
+  auto table = f.make(4, 1, 1);
+  for (int i = 0; i < 4; ++i) {
+    const std::vector<double> in{static_cast<double>(10 + i)};
+    const std::vector<double> out{static_cast<double>(i)};
+    table.insert(in, out);
+    // Slot i received insert i: empty slots fill in ascending order.
+    EXPECT_EQ(table.valid_count(), i + 1);
+    EXPECT_DOUBLE_EQ(table.input_at(i)[0], 10.0 + i);
+  }
+  // Once full, round-robin eviction starts at slot 0 — exactly where the
+  // historical rescan left the cursor.
+  table.insert(std::vector<double>{99.0}, std::vector<double>{9.0});
+  EXPECT_DOUBLE_EQ(table.input_at(0)[0], 99.0);
+  EXPECT_DOUBLE_EQ(table.input_at(1)[0], 11.0);
+
+  // And after a reset the prefix invariant (and fill order) start over.
+  table.reset();
+  EXPECT_EQ(table.valid_count(), 0);
+  table.insert(std::vector<double>{5.0}, std::vector<double>{0.0});
+  EXPECT_DOUBLE_EQ(table.input_at(0)[0], 5.0);
+  EXPECT_EQ(table.valid_count(), 1);
+}
+
+// --- SIMD dispatch-level bit-identity ---------------------------------------
+
+namespace {
+
+/// Restores the process-wide dispatch level even on assertion failure.
+class SimdLevelGuard {
+ public:
+  SimdLevelGuard() : previous_(hpac::simd::active_level()) {}
+  ~SimdLevelGuard() { hpac::simd::set_level(previous_); }
+
+ private:
+  hpac::simd::Level previous_;
+};
+
+std::vector<hpac::simd::Level> reachable_levels() {
+  std::vector<hpac::simd::Level> levels{hpac::simd::Level::kOff};
+  if (hpac::simd::max_runtime_level() >= hpac::simd::Level::kSse2) {
+    levels.push_back(hpac::simd::Level::kSse2);
+  }
+  if (hpac::simd::max_runtime_level() >= hpac::simd::Level::kAvx2) {
+    levels.push_back(hpac::simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+}  // namespace
+
+// The central property of the vector scan: at EVERY reachable dispatch
+// level, find_nearest returns the bit-identical index and distance of the
+// naive reference, across in_dims 1..9 (specialized kernels 1..8 plus the
+// generic runtime-loop fallback), odd table sizes (vector remainder
+// rows), and tie-rich quantized values (first-strictly-nearer-in-
+// sqrt-domain tie-break). Tables are constructed after set_level because
+// the kernel is cached at construction.
+TEST(IactProperty, FindNearestMatchesNaiveAtEveryDispatchLevel) {
+  SimdLevelGuard guard;
+  for (const hpac::simd::Level level : reachable_levels()) {
+    ASSERT_EQ(hpac::simd::set_level(level), level);
+    for (int in_dims = 1; in_dims <= 9; ++in_dims) {
+      for (const int tsize : {1, 2, 3, 5, 8, 13, 19}) {
+        Xoshiro256 rng(static_cast<std::uint64_t>(in_dims) * 100 + tsize);
+        TableFixture fixture;
+        IactTable table = fixture.make(tsize, in_dims, 1);
+        std::vector<double> in(static_cast<std::size_t>(in_dims));
+        std::vector<double> out{0.0};
+        const auto quantized = [&rng] {
+          return 0.25 * static_cast<double>(rng.uniform_index(9));
+        };
+        const int fills = tsize + static_cast<int>(rng.uniform_index(4));
+        for (int f = 0; f < fills; ++f) {
+          for (auto& v : in) v = quantized();
+          out[0] = static_cast<double>(f);
+          table.insert(in, out);
+        }
+        for (int probe = 0; probe < 48; ++probe) {
+          for (auto& v : in) v = quantized();
+          const IactTable::Match fast = table.find_nearest(in);
+          const IactTable::Match naive = naive_find_nearest(table, in);
+          ASSERT_EQ(fast.index, naive.index)
+              << "level " << hpac::simd::level_name(level) << " dims " << in_dims << " tsize "
+              << tsize;
+          ASSERT_EQ(fast.distance, naive.distance);  // bitwise, not approximate
+        }
+      }
+    }
+  }
+}
+
+// Same property over a storage span at an odd offset into a larger
+// buffer: every row of the span (and every SoA-mirror vector load) is
+// 8-byte- but not 16/32-byte-aligned, so the kernels' unaligned-load
+// assumption is exercised rather than assumed.
+TEST(IactProperty, FindNearestMatchesNaiveWithUnalignedStorageOffset) {
+  SimdLevelGuard guard;
+  for (const hpac::simd::Level level : reachable_levels()) {
+    ASSERT_EQ(hpac::simd::set_level(level), level);
+    for (const int in_dims : {1, 3, 4, 7}) {
+      Xoshiro256 rng(static_cast<std::uint64_t>(in_dims));
+      std::vector<double> buffer(IactTable::storage_doubles(9, in_dims, 1) + 3, 0.0);
+      // +1 double keeps the span 8-byte aligned but breaks any wider
+      // alignment the vector's allocation happened to provide.
+      std::span<double> storage(buffer.data() + 1, buffer.size() - 1);
+      IactTable table(9, in_dims, 1, Replacement::kRoundRobin, storage);
+      std::vector<double> in(static_cast<std::size_t>(in_dims));
+      std::vector<double> out{0.0};
+      for (int f = 0; f < 11; ++f) {
+        for (auto& v : in) v = rng.uniform(-3.0, 3.0);
+        table.insert(in, out);
+      }
+      for (int probe = 0; probe < 48; ++probe) {
+        for (auto& v : in) v = rng.uniform(-3.0, 3.0);
+        const IactTable::Match fast = table.find_nearest(in);
+        const IactTable::Match naive = naive_find_nearest(table, in);
+        ASSERT_EQ(fast.index, naive.index);
+        ASSERT_EQ(fast.distance, naive.distance);
+      }
+    }
+  }
+}
+
+// Early-abandon stress: a probe far from every entry except the last
+// slot maximizes block abandonment in the vector kernels; the winner and
+// its distance must still be bit-identical.
+TEST(IactProperty, FindNearestMatchesNaiveUnderHeavyEarlyAbandon) {
+  SimdLevelGuard guard;
+  for (const hpac::simd::Level level : reachable_levels()) {
+    ASSERT_EQ(hpac::simd::set_level(level), level);
+    TableFixture fixture;
+    IactTable table = fixture.make(16, 4, 1);
+    std::vector<double> out{0.0};
+    for (int f = 0; f < 16; ++f) {
+      // Entries march away from the origin; the last inserted is closest
+      // to the probe below.
+      std::vector<double> in(4, static_cast<double>(100 - f));
+      table.insert(in, out);
+    }
+    const std::vector<double> probe(4, 84.0);
+    const IactTable::Match fast = table.find_nearest(probe);
+    const IactTable::Match naive = naive_find_nearest(table, probe);
+    ASSERT_EQ(fast.index, naive.index);
+    ASSERT_EQ(fast.distance, naive.distance);
+    EXPECT_EQ(fast.index, 15);
   }
 }

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "approx/taf.hpp"
@@ -232,13 +234,16 @@ TEST(Taf, RejectsUndersizedStorageSpan) {
 
 // --- window_rsd golden baseline ---------------------------------------------
 //
-// ROADMAP plans an incremental (running-sum) RSD formulation, which would
-// change the floating-point summation order and therefore the bits. These
-// goldens pin the *current* behavior — two-pass mean/sigma per dimension,
-// summed in window *storage* order (ring positions, not insertion order),
-// sign-robust mean-|x| denominator, max across dimensions — so that
-// change arrives against an explicit byte-compat baseline instead of
-// silently shifting every TAF activation decision.
+// These goldens pin the incremental (running-sum) RSD formulation that
+// replaced the historical two-pass recompute: per-dimension running
+// value/|value|/squared sums folded in insertion order (full-ring
+// records subtract the evicted value first), sigma from E[x²] − μ² with
+// a negative-variance clamp, sign-robust mean-|x| denominator, max
+// across dimensions. The formulation change shifted the bits once —
+// these literals were re-captured at that point (the old two-pass
+// values are noted where they differ) — and is now the ONLY
+// formulation, so any future drift in these bits is a real behavior
+// change that would silently shift TAF activation decisions.
 
 TEST(TafGolden, RsdExactBitsPerWindowShape) {
   {
@@ -257,7 +262,9 @@ TEST(TafGolden, RsdExactBitsPerWindowShape) {
       double v[1] = {x};
       taf.record_accurate(v);
     }
-    EXPECT_EQ(taf.window_rsd(), 0x1.a20bd700c2c3ep-2);  // 0.40824829046386302
+    // One ulp below the two-pass recompute's 0x1.a20bd700c2c3ep-2: the
+    // only shape of the original four goldens whose bits moved.
+    EXPECT_EQ(taf.window_rsd(), 0x1.a20bd700c2c3dp-2);  // 0.40824829046386296
   }
   {
     // Two output dimensions: dimension 0 (wildly varying) must win the
@@ -274,12 +281,16 @@ TEST(TafGolden, RsdExactBitsPerWindowShape) {
   }
 }
 
-TEST(TafGolden, RsdSumsInStorageOrderAfterWraparound) {
+TEST(TafGolden, RsdIncrementalFoldAfterWraparound) {
   // h=3 with threshold 0 (never stable): records 1e16, 1, -1e16 fill the
-  // ring, then 2.0 overwrites slot 0. Storage order is {2, 1, -1e16};
-  // insertion order would be {1, -1e16, 2}. Catastrophic cancellation
-  // makes the two orders differ by one ulp, so this test fails if the
-  // summation ever switches to insertion (or any other) order.
+  // ring, then 2.0 overwrites slot 0, so the live window is {2, 1, -1e16}
+  // but the running sum carries the whole insert/evict history:
+  // ((1e16 + 1) + -1e16) - 1e16 + 2. Catastrophic cancellation at 1e16
+  // magnifies any change in that fold order to well above one ulp, so
+  // this golden pins the subtract-then-add eviction sequence itself.
+  // (The bits happen to coincide with the historical storage-order
+  // two-pass recompute on this data, which is why this golden survived
+  // the incremental-formulation switch unchanged.)
   std::vector<double> storage;
   TafState taf = make_state({3, 1, 0.0}, 1, storage);
   for (double x : {1e16, 1.0, -1e16, 2.0}) {
@@ -288,22 +299,91 @@ TEST(TafGolden, RsdSumsInStorageOrderAfterWraparound) {
   }
   EXPECT_EQ(taf.window_rsd(), 0x1.6a09e667f3bccp+0);  // 1.4142135623730949
 
-  // The same fold in both candidate orders, spelled out: the golden above
-  // is exactly the storage-order result and exactly one ulp away from the
-  // insertion-order result.
-  const auto rsd_over = [](std::initializer_list<double> vals) {
-    double sum = 0, abs_sum = 0;
-    int n = 0;
-    for (double v : vals) {
-      sum += v;
-      abs_sum += std::abs(v);
-      ++n;
+  // The same fold spelled out, replaying record_accurate's running-sum
+  // arithmetic and window_rsd's E[x²] − μ² exactly.
+  double sum = 0, abs_sum = 0, sq_sum = 0;
+  const double inserts[4] = {1e16, 1.0, -1e16, 2.0};
+  for (int i = 0; i < 4; ++i) {
+    if (i >= 3) {
+      const double old = inserts[i - 3];
+      sum -= old;
+      abs_sum -= std::abs(old);
+      sq_sum -= old * old;
     }
-    const double mu = sum / n;
-    double sq = 0;
-    for (double v : vals) sq += (v - mu) * (v - mu);
-    return std::sqrt(sq / n) / (abs_sum / n);
+    sum += inserts[i];
+    abs_sum += std::abs(inserts[i]);
+    sq_sum += inserts[i] * inserts[i];
+  }
+  const double mu = sum / 3.0;
+  double variance = sq_sum / 3.0 - mu * mu;
+  if (variance < 0.0) variance = 0.0;
+  EXPECT_EQ(taf.window_rsd(), std::sqrt(variance) / (abs_sum / 3.0));
+}
+
+// --- incremental vs recompute equivalence -----------------------------------
+//
+// The long-lived state's running sums carry insert/evict history; a fresh
+// state fed only the live window contents folds them without evictions.
+// These must agree: bit-exactly when the values make subtract-then-add
+// exact (integers well inside 2^53), and to tight relative tolerance for
+// arbitrary doubles (the deterministic drift the eviction fold can
+// accumulate). Checked at EVERY fill state — warmup, exactly full, and
+// deep into ring wraparound — and for multi-dimension windows.
+TEST(Taf, IncrementalRsdMatchesFreshRecomputeAtEveryFillState) {
+  const int h = 5;
+  // Mixed-sign, varied-magnitude stream; exactly representable values so
+  // the eviction subtraction is exact and equality is bitwise.
+  const double exact_stream[] = {3, -7, 12, 5, -2, 9, -11, 4, 8, -6, 1, 13, -3, 2, 10};
+  std::vector<double> storage;
+  TafState taf = make_state({h, 1, 0.0}, 1, storage);  // threshold 0: never resets
+  std::vector<double> seen;
+  for (double x : exact_stream) {
+    double v[1] = {x};
+    taf.record_accurate(v);
+    seen.push_back(x);
+    const int fill = std::min<int>(static_cast<int>(seen.size()), h);
+    EXPECT_EQ(taf.window_fill(), fill);
+    std::vector<double> fresh_storage;
+    TafState fresh = make_state({h, 1, 0.0}, 1, fresh_storage);
+    for (std::size_t i = seen.size() - static_cast<std::size_t>(fill); i < seen.size(); ++i) {
+      double w[1] = {seen[i]};
+      fresh.record_accurate(w);
+    }
+    if (fill < h) {
+      EXPECT_EQ(taf.window_rsd(), std::numeric_limits<double>::infinity());
+    } else {
+      EXPECT_EQ(taf.window_rsd(), fresh.window_rsd());
+    }
+  }
+}
+
+TEST(Taf, IncrementalRsdDriftStaysTinyForArbitraryDoubles) {
+  const int h = 4;
+  const int dims = 3;
+  std::vector<double> storage;
+  TafState taf = make_state({h, 1, 0.0}, dims, storage);
+  std::vector<std::vector<double>> seen;
+  // Deterministic pseudo-random doubles (LCG), mixed signs/magnitudes.
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  const auto next = [&s]() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    const double u = static_cast<double>(s >> 11) / 9007199254740992.0;  // [0,1)
+    return (u - 0.5) * 2000.0;  // [-1000, 1000)
   };
-  EXPECT_EQ(taf.window_rsd(), rsd_over({2.0, 1.0, -1e16}));
-  EXPECT_NE(taf.window_rsd(), rsd_over({1.0, -1e16, 2.0}));
+  for (int step = 0; step < 40; ++step) {
+    std::vector<double> row(dims);
+    for (double& x : row) x = next();
+    taf.record_accurate(row);
+    seen.push_back(row);
+    if (taf.window_fill() < h) continue;
+    std::vector<double> fresh_storage;
+    TafState fresh = make_state({h, 1, 0.0}, dims, fresh_storage);
+    for (std::size_t i = seen.size() - h; i < seen.size(); ++i) {
+      fresh.record_accurate(seen[i]);
+    }
+    const double incremental = taf.window_rsd();
+    const double recompute = fresh.window_rsd();
+    EXPECT_NEAR(incremental, recompute, 1e-9 * std::max(1.0, std::abs(recompute)))
+        << "at step " << step;
+  }
 }

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_region_exec.json against the committed baseline.
+
+Prints a per-scenario delta table and warns when a scenario's wall time
+regressed by more than --threshold (default 10%). Deliberately NON-GATING:
+the exit code is 0 even on regression, because shared CI runners make
+timing noise routine and a perf gate that cries wolf gets deleted. The
+warnings land in the job log (and ::warning annotations on GitHub) where
+a human deciding about a perf-sensitive change will actually look.
+
+Exit codes: 0 = compared (regressions included), 2 = bad input.
+
+Usage:
+  tools/bench_compare.py --baseline BENCH_region_exec.json \
+      --current bench_results/BENCH_region_exec.json [--threshold 0.10]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"bench_compare: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def scenario_seconds(doc):
+    """Flatten one result document into {scenario: wall_seconds}.
+
+    Engine scenarios carry `wall_seconds`; the iACT scan scenario carries
+    off/best pairs, which are tracked as two scenarios so a dispatch-layer
+    regression (best) is distinguishable from a scalar one (off).
+    """
+    out = {}
+    for key, value in doc.items():
+        if not isinstance(value, dict):
+            continue
+        if "wall_seconds" in value:
+            out[key] = float(value["wall_seconds"])
+        if "off_seconds" in value:
+            out[f"{key}/off"] = float(value["off_seconds"])
+        if "best_seconds" in value:
+            out[f"{key}/best"] = float(value["best_seconds"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative slowdown that triggers a warning")
+    args = parser.parse_args()
+
+    baseline = scenario_seconds(load(args.baseline))
+    current = scenario_seconds(load(args.current))
+    if not baseline or not current:
+        print("bench_compare: no scenarios found in input", file=sys.stderr)
+        sys.exit(2)
+
+    github = os.environ.get("GITHUB_ACTIONS") == "true"
+    regressions = []
+    width = max(len(name) for name in sorted(set(baseline) | set(current)))
+    print(f"{'scenario':<{width}}  {'baseline':>10}  {'current':>10}  delta")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"{name:<{width}}  {'-':>10}  {current[name]:>9.3f}s  (new scenario)")
+            continue
+        if name not in current:
+            print(f"{name:<{width}}  {baseline[name]:>9.3f}s  {'-':>10}  (scenario dropped)")
+            regressions.append((name, None))
+            continue
+        base, cur = baseline[name], current[name]
+        delta = (cur - base) / base if base > 0 else 0.0
+        marker = "  << regressed" if delta > args.threshold else ""
+        print(f"{name:<{width}}  {base:>9.3f}s  {cur:>9.3f}s  {delta:+7.1%}{marker}")
+        if delta > args.threshold:
+            regressions.append((name, delta))
+
+    if regressions:
+        for name, delta in regressions:
+            text = (f"perf scenario '{name}' dropped from results"
+                    if delta is None else
+                    f"perf scenario '{name}' slowed {delta:+.1%} vs committed baseline")
+            if github:
+                print(f"::warning title=bench_compare::{text}")
+            else:
+                print(f"WARNING: {text}", file=sys.stderr)
+        print(f"bench_compare: {len(regressions)} warning(s), threshold "
+              f"{args.threshold:.0%} (non-gating)")
+    else:
+        print("bench_compare: all scenarios within threshold "
+              f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+// Seeded violation: raw x86 intrinsics outside the per-ISA kernel TUs.
+// This file is a lint fixture — it is never compiled. A real TU doing
+// this would bake SSE codegen into a file the scalar dispatch level
+// still executes, breaking the HPAC_SIMD=off bit-identity reference.
+
+#include <emmintrin.h>
+
+double seeded_intrinsic_violation(const double* a, const double* b) {
+  const __m128d va = _mm_loadu_pd(a);
+  const __m128d vb = _mm_loadu_pd(b);
+  const __m128d sum = _mm_add_pd(va, vb);
+  double out[2];
+  _mm_storeu_pd(out, sum);
+  return out[0] + out[1];
+}

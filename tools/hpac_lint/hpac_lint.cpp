@@ -19,6 +19,12 @@
 //                              static_assert(kMaxRecordBytes < PIPE_BUF)
 //                              and the append-path runtime bound, the pair
 //                              that makes atomic-append records untearable.
+//   simd-isolation             x86 vector intrinsics (_mm_*, __m128, ...)
+//                              may appear only in the per-ISA kernel TUs and
+//                              the dispatch shim. Everywhere else calls
+//                              through dispatched function pointers, so the
+//                              scalar build stays the bit-identity reference
+//                              and -mavx2 never leaks past its own TU.
 //
 // A finding on a given line is suppressed by a trailing
 // `// hpac-lint: allow(<rule>)` comment naming the rule.
@@ -165,6 +171,47 @@ void check_raw_threads(const std::string& file, const std::vector<std::string>& 
                                 " outside the scheduler/server/heartbeat "
                                 "allowlist; fan out via hpac::Scheduler"});
         pos = after;
+      }
+    }
+  }
+}
+
+// --- rule: simd-isolation ----------------------------------------------------
+
+bool simd_allowlisted(const std::string& file) {
+  // The shim (level probing) plus the per-ISA TUs that CMake compiles with
+  // their own -m flags. The templated *_impl.hpp bodies are deliberately
+  // absent: they must stay expressed in Ops-traits calls, never raw
+  // intrinsics, or including them from a scalar TU would break.
+  static const std::vector<std::string> allowed = {
+      "common/simd.hpp",           "common/simd.cpp",
+      "approx/iact_scan_sse2.cpp", "approx/iact_scan_avx2.cpp",
+      "apps/app_kernels_sse2.cpp", "apps/app_kernels_avx2.cpp",
+  };
+  for (const std::string& suffix : allowed) {
+    if (path_ends_with(file, suffix)) return true;
+  }
+  return false;
+}
+
+void check_simd_isolation(const std::string& file, const std::vector<std::string>& lines,
+                          std::vector<Finding>& findings) {
+  if (simd_allowlisted(file)) return;
+  static const std::vector<std::string> tokens = {
+      "_mm_",        "_mm256_",     "__m128",
+      "__m256",      "immintrin.h", "emmintrin.h",
+      "xmmintrin.h",
+  };
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (line_allows(lines[i], "simd-isolation")) continue;
+    const std::string code = strip_line_comment(lines[i]);
+    for (const std::string& token : tokens) {
+      if (has_bounded_token(code, token)) {
+        findings.push_back({file, i + 1, "simd-isolation",
+                            "x86 intrinsic '" + token +
+                                "' outside the per-ISA kernel TUs; call through "
+                                "the hpac::simd dispatch layer instead"});
+        break;  // one finding per line is enough
       }
     }
   }
@@ -342,6 +389,7 @@ int main(int argc, char** argv) {
     const std::vector<std::string> lines = read_lines(file);
     check_banned_functions(file, lines, findings);
     check_raw_threads(file, lines, findings);
+    check_simd_isolation(file, lines, findings);
     check_independent_items(file, lines, findings);
     check_lease_record_bound(file, lines, findings);
   }
@@ -356,7 +404,7 @@ int main(int argc, char** argv) {
     // rule that silently stopped matching cannot gate anything.
     const std::vector<std::string> rules = {
         "independent-items-extents", "banned-function", "raw-thread",
-        "lease-record-bound"};
+        "lease-record-bound", "simd-isolation"};
     bool all_fired = true;
     for (const std::string& rule : rules) {
       const bool fired =
